@@ -1,0 +1,41 @@
+# Build, test and reproduce targets for the distributed Louvain library.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench fuzz experiments experiments-md clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector multiplies runtime; the heavier distributed tests stay
+# in scope because the rank goroutines are exactly what it should inspect.
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz passes over the input parsers.
+fuzz:
+	$(GO) test ./internal/gio -fuzz FuzzReadEdgeListText -fuzztime 30s
+	$(GO) test ./internal/gio -fuzz FuzzReadHeader -fuzztime 30s
+	$(GO) test ./internal/gio -fuzz FuzzGroundTruth -fuzztime 30s
+
+# Regenerate every table and figure of the paper (text to stdout).
+experiments:
+	$(GO) run ./cmd/paperbench -exp all
+
+# Same, as the markdown body used by EXPERIMENTS.md.
+experiments-md:
+	$(GO) run ./cmd/paperbench -exp all -markdown
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,275 @@
+// Command dlouvain runs the distributed Louvain community detection on a
+// binary edge-list graph, either with in-process ranks (goroutines, the
+// default — the single-binary analogue of mpirun) or as one OS process per
+// rank communicating over TCP.
+//
+// In-process:
+//
+//	dlouvain -np 8 -variant etc -alpha 0.25 g.bin
+//
+// TCP (launch one process per rank, same flags everywhere):
+//
+//	dlouvain -transport tcp -rank 0 -hosts 127.0.0.1:7000,127.0.0.1:7001 g.bin &
+//	dlouvain -transport tcp -rank 1 -hosts 127.0.0.1:7000,127.0.0.1:7001 g.bin
+//
+// Or let the binary spawn one local OS process per rank itself:
+//
+//	dlouvain -transport tcp-local -np 4 g.bin
+//
+// Variants: baseline, tc (threshold cycling), et, etc, ettc (ET+TC); et,
+// etc and ettc require -alpha. Use -truth to score against a ground-truth
+// community file and -o to write the detected assignment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"distlouvain/internal/core"
+	"distlouvain/internal/dgraph"
+	"distlouvain/internal/gio"
+	"distlouvain/internal/mpi"
+	"distlouvain/internal/partition"
+	"distlouvain/internal/quality"
+)
+
+func main() {
+	var (
+		np        = flag.Int("np", 4, "in-process rank count")
+		transport = flag.String("transport", "inproc", "inproc, tcp, or tcp-local (self-spawning local processes)")
+		rank      = flag.Int("rank", 0, "tcp: this process's rank")
+		hosts     = flag.String("hosts", "", "tcp: comma-separated host:port per rank")
+		variant   = flag.String("variant", "baseline", "baseline, tc, et, etc, ettc")
+		alpha     = flag.Float64("alpha", 0.25, "early-termination decay (et, etc, ettc)")
+		tau       = flag.Float64("tau", 0, "convergence threshold (default 1e-6)")
+		threads   = flag.Int("threads", 1, "worker threads per rank")
+		seed      = flag.Uint64("seed", 1, "early-termination seed")
+		pruned    = flag.Bool("pruned-ghosts", false, "send only changed ghost updates")
+		edgeBal   = flag.Bool("edgebalance", false, "edge-balanced input partition instead of even vertex split")
+		neighbor  = flag.Bool("neighbor-coll", false, "use sparse neighborhood collectives for ghost exchange")
+		coloring  = flag.Bool("coloring", false, "sweep by distance-1 color classes (distributed Jones-Plassmann)")
+		outPath   = flag.String("o", "", "write detected communities (one label per line)")
+		truthPath = flag.String("truth", "", "ground-truth file for quality scoring")
+		verbose   = flag.Bool("v", false, "per-phase progress output")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dlouvain [flags] <graph.bin>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	cfg, err := buildConfig(*variant, *alpha)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg.Tau = *tau
+	cfg.Threads = *threads
+	cfg.Seed = *seed
+	cfg.SendChangedOnly = *pruned
+	cfg.UseNeighborCollectives = *neighbor
+	cfg.UseColoring = *coloring
+	cfg.GatherOutput = true
+
+	hdr, err := gio.ReadHeader(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	switch *transport {
+	case "inproc":
+		runInproc(path, hdr, *np, cfg, *edgeBal, *outPath, *truthPath, *verbose)
+	case "tcp":
+		addrs := strings.Split(*hosts, ",")
+		if len(addrs) < 1 || *hosts == "" {
+			fatalf("tcp transport needs -hosts")
+		}
+		runTCP(path, hdr, *rank, addrs, cfg, *edgeBal, *outPath, *truthPath, *verbose)
+	case "tcp-local":
+		launchLocalTCP(*np)
+	default:
+		fatalf("unknown transport %q", *transport)
+	}
+}
+
+// launchLocalTCP re-executes this binary once per rank with -transport tcp
+// over freshly reserved loopback ports — a miniature single-host mpirun.
+func launchLocalTCP(np int) {
+	if np <= 0 {
+		fatalf("tcp-local needs -np >= 1")
+	}
+	addrs := make([]string, np)
+	for r := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatalf("reserve port: %v", err)
+		}
+		addrs[r] = ln.Addr().String()
+		ln.Close()
+	}
+	hostList := strings.Join(addrs, ",")
+
+	// Rebuild the child argument vector: original flags minus the
+	// transport/np settings, plus per-rank tcp settings.
+	var passthrough []string
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "transport" || f.Name == "np" || f.Name == "rank" || f.Name == "hosts" {
+			return
+		}
+		passthrough = append(passthrough, "-"+f.Name+"="+f.Value.String())
+	})
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cmds := make([]*exec.Cmd, np)
+	for r := 0; r < np; r++ {
+		args := append([]string{"-transport", "tcp", "-rank", fmt.Sprint(r), "-hosts", hostList}, passthrough...)
+		args = append(args, flag.Args()...)
+		cmd := exec.Command(exe, args...)
+		if r == 0 {
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+		}
+		if err := cmd.Start(); err != nil {
+			fatalf("spawn rank %d: %v", r, err)
+		}
+		cmds[r] = cmd
+	}
+	status := 0
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "dlouvain: rank %d: %v\n", r, err)
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
+
+func buildConfig(variant string, alpha float64) (core.Config, error) {
+	switch variant {
+	case "baseline":
+		return core.Baseline(), nil
+	case "tc":
+		return core.ThresholdCycling(), nil
+	case "et":
+		return core.ET(alpha), nil
+	case "etc":
+		return core.ETC(alpha), nil
+	case "ettc":
+		return core.ETWithTC(alpha), nil
+	default:
+		return core.Config{}, fmt.Errorf("unknown variant %q", variant)
+	}
+}
+
+func rankBody(path string, hdr gio.Header, cfg core.Config, edgeBal, verbose bool) func(c *mpi.Comm) (*core.Result, error) {
+	return func(c *mpi.Comm) (*core.Result, error) {
+		ioStart := time.Now()
+		chunk, err := gio.ReadSegment(path, c.Rank(), c.Size())
+		if err != nil {
+			return nil, err
+		}
+		ioDur := time.Since(ioStart)
+		var part *partition.Partition
+		if edgeBal {
+			part, err = dgraph.EdgeBalancedPartition(c, hdr.Vertices, chunk)
+			if err != nil {
+				return nil, err
+			}
+		}
+		dg, err := dgraph.Build(c, hdr.Vertices, chunk, part)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Run(dg, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if c.Rank() == 0 && verbose {
+			fmt.Fprintf(os.Stderr, "rank 0: read %d edges in %v\n", len(chunk), ioDur)
+			for i, ph := range res.Phases {
+				fmt.Fprintf(os.Stderr, "phase %d: |V|=%d iters=%d Q=%.6f tau=%.0e exit=%s\n",
+					i, ph.Vertices, ph.Iterations, ph.Modularity, ph.Tau, ph.Exit)
+			}
+		}
+		return res, nil
+	}
+}
+
+func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal bool, outPath, truthPath string, verbose bool) {
+	body := rankBody(path, hdr, cfg, edgeBal, verbose)
+	var root *core.Result
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		res, err := body(c)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			root = res
+		}
+		return nil
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	report(root, hdr, cfg, np, outPath, truthPath)
+}
+
+func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Config, edgeBal bool, outPath, truthPath string, verbose bool) {
+	tp, err := mpi.DialTCPWorld(mpi.TCPWorldConfig{Rank: rank, Addrs: addrs})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer tp.Close()
+	c := mpi.NewComm(tp)
+	res, err := rankBody(path, hdr, cfg, edgeBal, verbose)(c)
+	if err != nil {
+		fatalf("rank %d: %v", rank, err)
+	}
+	if rank == 0 {
+		report(res, hdr, cfg, len(addrs), outPath, truthPath)
+	}
+}
+
+func report(res *core.Result, hdr gio.Header, cfg core.Config, np int, outPath, truthPath string) {
+	fmt.Printf("variant=%s ranks=%d threads=%d\n", cfg.VariantName(), np, cfg.Threads)
+	fmt.Printf("graph: %d vertices, %d edges\n", hdr.Vertices, hdr.Edges)
+	fmt.Printf("communities=%d modularity=%.6f phases=%d iterations=%d time=%.3fs\n",
+		res.Communities, res.Modularity, len(res.Phases), res.TotalIterations, res.Runtime.Seconds())
+	fmt.Printf("time split: ghost=%.3fs community=%.3fs compute=%.3fs allreduce=%.3fs rebuild=%.3fs\n",
+		res.Steps.GhostComm.Seconds(), res.Steps.CommunityComm.Seconds(),
+		res.Steps.Compute.Seconds(), res.Steps.Allreduce.Seconds(), res.Steps.Rebuild.Seconds())
+	fmt.Printf("rank-0 traffic: %.2f MB p2p, %.2f MB collective\n",
+		float64(res.Traffic.SentBytes)/1e6, float64(res.Traffic.CollBytes)/1e6)
+
+	if outPath != "" {
+		if err := gio.WriteGroundTruth(outPath, res.GlobalComm); err != nil {
+			fatalf("write %s: %v", outPath, err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if truthPath != "" {
+		truth, err := gio.ReadGroundTruth(truthPath, hdr.Vertices)
+		if err != nil {
+			fatalf("read %s: %v", truthPath, err)
+		}
+		score, err := quality.Compare(res.GlobalComm, truth)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("quality vs ground truth: precision=%.4f recall=%.4f f-score=%.4f nmi=%.4f ari=%.4f\n",
+			score.Precision, score.Recall, score.FScore, score.NMI, score.ARI)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dlouvain: "+format+"\n", args...)
+	os.Exit(1)
+}

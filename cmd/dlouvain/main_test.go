@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestBuildConfig(t *testing.T) {
+	cases := []struct {
+		variant string
+		alpha   float64
+		want    string
+		wantErr bool
+	}{
+		{"baseline", 0, "Baseline", false},
+		{"tc", 0, "Threshold Cycling", false},
+		{"et", 0.25, "ET(0.25)", false},
+		{"etc", 0.75, "ETC(0.75)", false},
+		{"ettc", 0.25, "ET(0.25)+TC", false},
+		{"bogus", 0, "", true},
+	}
+	for _, c := range cases {
+		cfg, err := buildConfig(c.variant, c.alpha)
+		if c.wantErr {
+			if err == nil {
+				t.Fatalf("%s: expected error", c.variant)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", c.variant, err)
+		}
+		if got := cfg.VariantName(); got != c.want {
+			t.Fatalf("%s: VariantName = %q, want %q", c.variant, got, c.want)
+		}
+	}
+}

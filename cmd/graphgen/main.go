@@ -1,0 +1,108 @@
+// Command graphgen generates synthetic benchmark graphs in the binary
+// edge-list format consumed by cmd/dlouvain, optionally emitting ground
+// truth community files.
+//
+// Usage:
+//
+//	graphgen -kind rmat -scale 16 -ef 16 -o g.bin
+//	graphgen -kind lfr -n 100000 -mu 0.2 -o g.bin -truth g.gt
+//	graphgen -kind ssca2 -n 1000000 -clique 100 -o g.bin -truth g.gt
+//	graphgen -kind grid -rows 1000 -cols 1000 -o g.bin
+//	graphgen -kind smallworld -n 100000 -k 10 -beta 0.1 -o g.bin
+//	graphgen -kind random -n 100000 -m 1000000 -o g.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distlouvain/internal/gen"
+	"distlouvain/internal/gio"
+	"distlouvain/internal/graph"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "rmat", "graph family: rmat, lfr, ssca2, grid, smallworld, random, band")
+		out    = flag.String("o", "graph.bin", "output path")
+		format = flag.String("format", "binary", "output format: binary, text, or metis")
+		truth  = flag.String("truth", "", "optional ground-truth output path (lfr, ssca2)")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		n      = flag.Int64("n", 100000, "vertex count (lfr, ssca2, smallworld, random, band)")
+		m      = flag.Int64("m", 0, "edge count (random; default 10n)")
+		scale  = flag.Int("scale", 16, "rmat: log2 of vertex count")
+		ef     = flag.Int64("ef", 16, "rmat: edges per vertex")
+		mu     = flag.Float64("mu", 0.2, "lfr: mixing parameter")
+		clique = flag.Int64("clique", 100, "ssca2: max clique size")
+		inter  = flag.Float64("inter", 0.02, "ssca2: inter-clique edge probability")
+		rows   = flag.Int64("rows", 1000, "grid: rows")
+		cols   = flag.Int64("cols", 1000, "grid: columns")
+		diag   = flag.Bool("diag", true, "grid: include diagonal links")
+		k      = flag.Int64("k", 10, "smallworld: ring degree (even)")
+		beta   = flag.Float64("beta", 0.1, "smallworld: rewiring probability")
+		band   = flag.Int64("band", 4, "band: bandwidth")
+	)
+	flag.Parse()
+
+	var (
+		nv    int64
+		edges []graph.RawEdge
+		gt    []int64
+		err   error
+	)
+	switch *kind {
+	case "rmat":
+		nv, edges, err = gen.RMAT(*scale, *ef, 0.57, 0.19, 0.19, 0.05, *seed)
+	case "lfr":
+		nv, edges, gt, err = gen.LFR(gen.DefaultLFR(*n, *mu, *seed))
+	case "ssca2":
+		nv, edges, gt, err = gen.SSCA2(gen.SSCA2Options{N: *n, MaxCliqueSize: *clique, InterProb: *inter, Seed: *seed})
+	case "grid":
+		nv, edges = gen.Grid2D(*rows, *cols, *diag)
+	case "smallworld":
+		nv, edges, err = gen.WattsStrogatz(*n, *k, *beta, *seed)
+	case "random":
+		mm := *m
+		if mm <= 0 {
+			mm = 10 * *n
+		}
+		nv, edges = gen.ErdosRenyi(*n, mm, *seed)
+	case "band":
+		nv, edges = gen.BandedMesh(*n, *band)
+	default:
+		fatalf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	switch *format {
+	case "binary":
+		err = gio.WriteBinary(*out, nv, edges)
+	case "text":
+		err = gio.WriteEdgeListText(*out, edges)
+	case "metis":
+		err = gio.WriteMETIS(*out, nv, edges)
+	default:
+		fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges\n", *out, nv, len(edges))
+	if *truth != "" {
+		if gt == nil {
+			fatalf("kind %q has no ground truth", *kind)
+		}
+		if err := gio.WriteGroundTruth(*truth, gt); err != nil {
+			fatalf("write %s: %v", *truth, err)
+		}
+		fmt.Printf("wrote %s: ground truth for %d vertices\n", *truth, len(gt))
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "graphgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestBucketLabel(t *testing.T) {
+	cases := map[int]string{
+		0: "0",
+		1: "1",
+		2: "[2,4)",
+		3: "[4,8)",
+		4: "[8,16)",
+	}
+	for i, want := range cases {
+		if got := bucketLabel(i); got != want {
+			t.Fatalf("bucketLabel(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestBarLen(t *testing.T) {
+	if barLen(0, 100) != 0 {
+		t.Fatal("zero count should have no bar")
+	}
+	if barLen(1, 1000000) != 1 {
+		t.Fatal("nonzero count should have at least one mark")
+	}
+	if barLen(100, 100) != 60 {
+		t.Fatalf("full bucket should fill the bar, got %d", barLen(100, 100))
+	}
+	if barLen(5, 0) != 0 {
+		t.Fatal("empty graph should have no bar")
+	}
+}

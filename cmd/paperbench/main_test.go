@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := parseInts("0"); err == nil {
+		t.Fatal("expected positivity error")
+	}
+	if _, err := parseInts("-3"); err == nil {
+		t.Fatal("expected positivity error")
+	}
+}

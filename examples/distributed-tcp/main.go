@@ -1,0 +1,108 @@
+// Distributed TCP deployment: run the Louvain ranks as TCP endpoints on a
+// full socket mesh — the same wire protocol cmd/dlouvain uses across OS
+// processes or machines — from a single demonstration binary.
+//
+// Each rank dials/accepts its peers, reads its segment of the shared input,
+// builds its partition of the distributed graph, and runs the SPMD
+// algorithm; all coordination happens through length-prefixed frames on the
+// sockets, never through shared memory.
+//
+//	go run ./examples/distributed-tcp
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"distlouvain/internal/core"
+	"distlouvain/internal/dgraph"
+	"distlouvain/internal/gen"
+	"distlouvain/internal/gio"
+	"distlouvain/internal/mpi"
+)
+
+const ranks = 3
+
+func main() {
+	// Write a shared input file, as a cluster deployment would.
+	n, edges, truth, err := gen.SSCA2(gen.SSCA2Options{N: 20000, MaxCliqueSize: 30, InterProb: 0.02, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = truth
+	dir, err := os.MkdirTemp("", "dlouvain-tcp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "graph.bin")
+	if err := gio.WriteBinary(path, n, edges); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input: %d vertices, %d edges at %s\n", n, len(edges), path)
+
+	// Reserve one loopback port per rank.
+	addrs := make([]string, ranks)
+	for r := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		addrs[r] = ln.Addr().String()
+		ln.Close()
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*core.Result, ranks)
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = func() error {
+				tp, err := mpi.DialTCPWorld(mpi.TCPWorldConfig{Rank: r, Addrs: addrs})
+				if err != nil {
+					return err
+				}
+				defer tp.Close()
+				c := mpi.NewComm(tp)
+				chunk, err := gio.ReadSegment(path, r, ranks)
+				if err != nil {
+					return err
+				}
+				dg, err := dgraph.Build(c, n, chunk, nil)
+				if err != nil {
+					return err
+				}
+				cfg := core.ETC(0.25)
+				cfg.GatherOutput = true
+				res, err := core.Run(dg, cfg)
+				if err != nil {
+					return err
+				}
+				results[r] = res
+				return nil
+			}()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			log.Fatalf("rank %d: %v", r, err)
+		}
+	}
+
+	root := results[0]
+	fmt.Printf("detected %d communities, modularity %.6f, %d phases, %d iterations\n",
+		root.Communities, root.Modularity, len(root.Phases), root.TotalIterations)
+	for r, res := range results {
+		fmt.Printf("rank %d: owns vertices [%d,%d), sent %.2f MB over TCP\n",
+			r, res.LocalBase, res.LocalBase+int64(len(res.LocalComm)),
+			float64(res.Traffic.SentBytes+res.Traffic.CollBytes)/1e6)
+	}
+	fmt.Println("\nexpected (paper Table V): SSCA#2 clique graphs score modularity ≈ 0.99")
+}

@@ -1,0 +1,3 @@
+module distlouvain
+
+go 1.22

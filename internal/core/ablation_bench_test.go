@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"distlouvain/internal/dgraph"
+	"distlouvain/internal/gen"
+	"distlouvain/internal/gio"
+	"distlouvain/internal/graph"
+	"distlouvain/internal/mpi"
+	"distlouvain/internal/partition"
+)
+
+// Ablation: full ghost push vs changed-only push (DESIGN.md §6 — the
+// §IV-B "further sophistication"). Results are bit-identical; the
+// difference is traffic and time.
+func BenchmarkAblation_GhostProtocol(b *testing.B) {
+	n, edges, _, err := gen.LFR(gen.DefaultLFR(4000, 0.3, 9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pruned := range []bool{false, true} {
+		name := "full-push"
+		if pruned {
+			name = "changed-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mb float64
+			for i := 0; i < b.N; i++ {
+				cfg := Baseline()
+				cfg.SendChangedOnly = pruned
+				res, err := RunOnEdges(4, n, edges, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mb = float64(res.Traffic.TotalBytes()) / 1e6
+			}
+			b.ReportMetric(mb, "MB-sent")
+		})
+	}
+}
+
+// Ablation: coarsening redistribution under vertex-balanced vs
+// edge-balanced input partitions (DESIGN.md §6). Edge balancing costs a
+// global degree census up front but evens the sweep work on skewed inputs.
+func BenchmarkAblation_Rebalance(b *testing.B) {
+	n, edges, err := gen.RMAT(11, 12, 0.57, 0.19, 0.19, 0.05, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.FromRawEdges(n, edges)
+	degrees := make([]int64, n)
+	for v := int64(0); v < n; v++ {
+		degrees[v] = g.Degree(v)
+	}
+	const p = 4
+	parts := map[string]*partition.Partition{
+		"vertex-balanced": partition.ByVertexCount(n, p),
+		"edge-balanced":   partition.ByEdgeCount(degrees, p),
+	}
+	for name, part := range parts {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(p, func(c *mpi.Comm) error {
+					lo, hi := gio.SegmentRange(int64(len(edges)), c.Rank(), p)
+					dg, err := dgraph.Build(c, n, edges[lo:hi], part)
+					if err != nil {
+						return err
+					}
+					_, err = Run(dg, Baseline())
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistributedVariants tracks each variant end to end on a common
+// input.
+func BenchmarkDistributedVariants(b *testing.B) {
+	n, edges, _, err := gen.LFR(gen.DefaultLFR(4000, 0.3, 9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []Config{Baseline(), ThresholdCycling(), ET(0.25), ETC(0.25)} {
+		b.Run(cfg.VariantName(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunOnEdges(2, n, edges, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRebuild isolates the distributed coarsening step.
+func BenchmarkRebuild(b *testing.B) {
+	n, edges, _, err := gen.LFR(gen.DefaultLFR(4000, 0.3, 9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(2, func(c *mpi.Comm) error {
+			lo, hi := gio.SegmentRange(int64(len(edges)), c.Rank(), 2)
+			dg, err := dgraph.Build(c, n, edges[lo:hi], nil)
+			if err != nil {
+				return err
+			}
+			cfg := Baseline()
+			cfg.fill()
+			st, err := newPhaseState(dg, &cfg, 0, &StepTimes{})
+			if err != nil {
+				return err
+			}
+			if _, err := st.iterate(cfg.Tau); err != nil {
+				return err
+			}
+			_, _, err = st.rebuild(nil)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: dense all-to-all vs sparse neighborhood-collective ghost
+// exchange (DESIGN.md §6 / the paper's §VI MPI-3 plan). Identical results;
+// the metric of interest is messages per run.
+func BenchmarkAblation_NeighborCollectives(b *testing.B) {
+	n, edges := gen.BandedMesh(3000, 3)
+	const p = 8
+	for _, neighbor := range []bool{false, true} {
+		name := "dense-alltoall"
+		if neighbor {
+			name = "neighborhood"
+		}
+		b.Run(name, func(b *testing.B) {
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				cfg := Baseline()
+				cfg.UseNeighborCollectives = neighbor
+				res, err := RunOnEdges(p, n, edges, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.Traffic.CollMsgs
+			}
+			b.ReportMetric(float64(msgs), "coll-msgs")
+		})
+	}
+}
+
+// BenchmarkDistColoring isolates the distributed Jones–Plassmann coloring.
+func BenchmarkDistColoring(b *testing.B) {
+	n, edges := gen.Grid2D(60, 60, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			lo, hi := gio.SegmentRange(int64(len(edges)), c.Rank(), 4)
+			dg, err := dgraph.Build(c, n, edges[lo:hi], nil)
+			if err != nil {
+				return err
+			}
+			_, _, err = DistColoring(dg, 7)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package core implements the paper's primary contribution: the distributed
+// memory parallel Louvain method (Algorithms 2–4) with its performance
+// heuristics — Threshold Cycling (TC), adaptive Early Termination (ET) and
+// ET with the global inactive-count exit (ETC) — plus the distributed graph
+// reconstruction of Fig. 1.
+//
+// Every rank executes Run as an SPMD program over an mpi.Comm; all
+// convergence decisions derive from allreduced quantities, so ranks always
+// agree on control flow.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"distlouvain/internal/mpi"
+)
+
+// DefaultTau is the paper's default threshold τ = 10⁻⁶.
+const DefaultTau = 1e-6
+
+// InactiveCutoff is the activity probability below which a vertex is
+// permanently labelled inactive for the rest of the phase (the paper's 2%).
+const InactiveCutoff = 0.02
+
+// DefaultETCExit is the global inactive fraction at which ETC terminates a
+// phase (the paper's 90%).
+const DefaultETCExit = 0.90
+
+// Config selects the algorithm variant and its parameters.
+type Config struct {
+	// Tau is the τ threshold for both iteration- and phase-level
+	// convergence (≤0 selects DefaultTau).
+	Tau float64
+
+	// TauSchedule enables Threshold Cycling: phase k runs with
+	// TauSchedule[k mod len]. When the run converges while the schedule
+	// is above Tau, one extra phase is forced at Tau (the paper's "run
+	// once more with the lowest threshold"). Empty disables cycling.
+	TauSchedule []float64
+
+	// Alpha is the ET decay rate in [0,1]; 0 disables early termination.
+	Alpha float64
+
+	// ETC adds the extra communication step that counts inactive vertices
+	// globally and exits the phase when the fraction reaches ETCExit.
+	ETC bool
+	// ETCExit overrides DefaultETCExit when positive.
+	ETCExit float64
+
+	// Threads is the intra-rank worker team size (the OpenMP threads of
+	// the paper's MPI+OpenMP runs); ≤0 selects 1.
+	Threads int
+
+	// MaxPhases caps phases (0 = 64, a safety net far above practical
+	// convergence).
+	MaxPhases int
+	// MaxIterations caps iterations per phase (0 = unlimited).
+	MaxIterations int
+
+	// Seed drives the ET coin flips (identical results for identical
+	// seeds regardless of rank count or scheduling).
+	Seed uint64
+
+	// SendChangedOnly prunes the per-iteration ghost-vertex update to
+	// entries whose community actually changed — the "further
+	// sophistication" of §IV-B: inactive vertices stop generating
+	// traffic. Off in the paper's Baseline.
+	SendChangedOnly bool
+
+	// UseNeighborCollectives routes the per-iteration ghost exchange
+	// through sparse neighborhood collectives (the MPI-3 feature the
+	// paper's §VI plans to adopt) instead of the dense all-to-all:
+	// O(ghost-neighbours) messages per rank rather than O(p). Results are
+	// identical.
+	UseNeighborCollectives bool
+
+	// UseColoring sweeps local vertices one distance-1 color class at a
+	// time (computed by a distributed Jones–Plassmann coloring), so
+	// vertices processed concurrently are mutually non-adjacent and later
+	// classes observe earlier classes' local moves — the paper's §VI
+	// faster-convergence extension.
+	UseColoring bool
+
+	// GatherOutput assembles the full community assignment at rank 0
+	// (Result.GlobalComm), as the paper's quality-assessment mode does.
+	GatherOutput bool
+}
+
+func (c *Config) fill() {
+	if c.Tau <= 0 {
+		c.Tau = DefaultTau
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.MaxPhases <= 0 {
+		c.MaxPhases = 64
+	}
+	if c.ETCExit <= 0 {
+		c.ETCExit = DefaultETCExit
+	}
+}
+
+// PaperTauSchedule is the Fig. 2 cycling schedule: τ = 10⁻³ for 3 phases,
+// 10⁻⁴ for 4, 10⁻⁵ for 3, 10⁻⁶ for 3, then repeat.
+func PaperTauSchedule() []float64 {
+	s := make([]float64, 0, 13)
+	for i := 0; i < 3; i++ {
+		s = append(s, 1e-3)
+	}
+	for i := 0; i < 4; i++ {
+		s = append(s, 1e-4)
+	}
+	for i := 0; i < 3; i++ {
+		s = append(s, 1e-5)
+	}
+	for i := 0; i < 3; i++ {
+		s = append(s, 1e-6)
+	}
+	return s
+}
+
+// Variant constructors matching the paper's experiment legend.
+
+// Baseline is Algorithm 2 without heuristics.
+func Baseline() Config { return Config{} }
+
+// ThresholdCycling enables the Fig. 2 τ schedule.
+func ThresholdCycling() Config { return Config{TauSchedule: PaperTauSchedule()} }
+
+// ET enables adaptive early termination with decay α.
+func ET(alpha float64) Config { return Config{Alpha: alpha} }
+
+// ETC enables early termination plus the global inactive-count exit.
+func ETC(alpha float64) Config { return Config{Alpha: alpha, ETC: true} }
+
+// ETWithTC combines ET(α) and Threshold Cycling (Table VI).
+func ETWithTC(alpha float64) Config {
+	return Config{Alpha: alpha, TauSchedule: PaperTauSchedule()}
+}
+
+// VariantName renders the configuration in the paper's legend style.
+func (c Config) VariantName() string {
+	switch {
+	case c.Alpha > 0 && c.ETC:
+		return fmt.Sprintf("ETC(%.2g)", c.Alpha)
+	case c.Alpha > 0 && len(c.TauSchedule) > 0:
+		return fmt.Sprintf("ET(%.2g)+TC", c.Alpha)
+	case c.Alpha > 0:
+		return fmt.Sprintf("ET(%.2g)", c.Alpha)
+	case len(c.TauSchedule) > 0:
+		return "Threshold Cycling"
+	default:
+		return "Baseline"
+	}
+}
+
+// ExitReason explains why a phase's iteration loop ended.
+type ExitReason string
+
+// Phase exit reasons.
+const (
+	ExitTau     ExitReason = "tau"     // modularity gain fell to τ
+	ExitETC     ExitReason = "etc"     // ≥ETCExit of vertices inactive
+	ExitMaxIter ExitReason = "maxiter" // MaxIterations reached
+)
+
+// PhaseStat records one phase of the distributed run; the QTrajectory and
+// iteration counts regenerate the paper's Figs. 5–6.
+type PhaseStat struct {
+	Vertices    int64     // global graph size at phase start
+	Iterations  int       // Louvain iterations executed
+	Modularity  float64   // modularity at phase end
+	Tau         float64   // threshold this phase ran with
+	QTrajectory []float64 // modularity after each iteration
+	// MovesTrajectory records the global number of vertices that changed
+	// community in each iteration — the quantity whose rapid decay
+	// motivates the ET heuristic (§IV-B).
+	MovesTrajectory []int64
+	InactiveFrac    float64    // global inactive fraction at phase end
+	Exit            ExitReason // why the phase ended
+	Colors          int        // distance-1 colors used (0 unless UseColoring)
+}
+
+// StepTimes aggregates where the run spent its time, mirroring the paper's
+// §V-A HPCToolkit breakdown (ghost/community communication, the modularity
+// allreduce, local compute, and graph rebuilding).
+type StepTimes struct {
+	GhostComm     time.Duration // ghost vertex exchange (iteration step i)
+	CommunityComm time.Duration // community info fetch + update push (steps ii–iii)
+	Compute       time.Duration // local ΔQ sweeps
+	Allreduce     time.Duration // modularity / control reductions
+	Rebuild       time.Duration // distributed coarsening
+	Total         time.Duration
+}
+
+// Result is the per-rank outcome of a distributed Louvain run.
+type Result struct {
+	// LocalComm holds the final community label of each vertex this rank
+	// owned in the ORIGINAL graph (index = global original ID − LocalBase).
+	LocalComm []int64
+	// LocalBase is the first original vertex this rank owns.
+	LocalBase int64
+	// GlobalComm is the complete assignment, present at rank 0 when
+	// Config.GatherOutput is set (nil elsewhere).
+	GlobalComm []int64
+
+	Modularity      float64
+	Communities     int64 // global community count
+	Phases          []PhaseStat
+	TotalIterations int
+	Runtime         time.Duration
+	Steps           StepTimes
+	Traffic         mpi.Snapshot // this rank's traffic during the run
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"distlouvain/internal/mpi"
+	"distlouvain/internal/par"
+)
+
+// move is one vertex's decision within an iteration.
+type move struct {
+	lv       int64 // local vertex index
+	from, to int64 // community IDs
+}
+
+// updateActivity applies the ET probability decay of Equation 3 before
+// iteration iter (1-based) and returns the local inactive count. With
+// Alpha == 0 every vertex stays active.
+func (st *phaseState) updateActivity(iter int) int64 {
+	if st.cfg.Alpha <= 0 {
+		return 0
+	}
+	if iter >= 2 {
+		par.For(int(st.dg.LocalN), st.cfg.Threads, func(_, lo, hi int) {
+			for lv := lo; lv < hi; lv++ {
+				if st.inactive[lv] {
+					continue
+				}
+				if st.comm[lv] == st.prevComm[lv] {
+					st.prob[lv] *= 1 - st.cfg.Alpha
+					if st.prob[lv] < InactiveCutoff {
+						st.inactive[lv] = true
+					}
+				} else {
+					st.prob[lv] = 1
+				}
+			}
+		})
+	}
+	copy(st.prevComm, st.comm)
+	return par.ReduceInt64(int(st.dg.LocalN), st.cfg.Threads, func(_, lo, hi int) int64 {
+		var c int64
+		for lv := lo; lv < hi; lv++ {
+			if st.inactive[lv] {
+				c++
+			}
+		}
+		return c
+	})
+}
+
+// isActive combines the permanent inactive label with the per-iteration
+// coin flip at probability prob[lv]. The flip hashes (seed, global vertex,
+// iteration) so the outcome is identical however vertices are distributed.
+func (st *phaseState) isActive(lv int64, iter int) bool {
+	if st.inactive[lv] {
+		return false
+	}
+	p := st.prob[lv]
+	if p >= 1 {
+		return true
+	}
+	h := par.Mix64(st.seed ^ uint64(st.dg.Global(lv))*0x9e3779b97f4a7c15 ^ uint64(iter)*0xd1b54a32d192ed03)
+	return float64(h>>11)/(1<<53) < p
+}
+
+// evaluateVertex computes lv's ΔQ-maximising move against the current
+// local state plus this iteration's ghost/remote snapshots (lines 7–8 of
+// Algorithm 3). Returns false when lv should stay put.
+func (st *phaseState) evaluateVertex(lv int64, scratch map[int64]float64) (move, bool) {
+	m2 := st.dg.M2
+	cv := st.comm[lv]
+	clear(scratch)
+	g := st.dg.Global(lv)
+	for _, e := range st.dg.Neighbors(lv) {
+		if e.To == g {
+			continue // self loop moves with the vertex
+		}
+		scratch[st.commOf(e.To)] += e.W
+	}
+	if len(scratch) == 0 {
+		return move{}, false
+	}
+	eCur := scratch[cv]
+	kv := st.dg.K[lv]
+	curInfo, ok := st.infoOf(cv)
+	if !ok {
+		return move{}, false // stale reference; skip this vertex for now
+	}
+	aCur := curInfo.a - kv
+	best := cv
+	bestGain := 0.0
+	var bestInfo cinfo
+	for cid, evc := range scratch {
+		if cid == cv {
+			continue
+		}
+		ci, ok := st.infoOf(cid)
+		if !ok {
+			continue
+		}
+		gain := 2*(evc-eCur)/m2 - 2*kv*(ci.a-aCur)/(m2*m2)
+		if gain > bestGain || (gain == bestGain && gain > 0 && cid < best) {
+			bestGain = gain
+			best = cid
+			bestInfo = ci
+		}
+	}
+	if best == cv || bestGain <= 0 {
+		return move{}, false
+	}
+	// Minimum-label rule: a singleton only joins another singleton with a
+	// smaller label, killing synchronous swap cycles (same rule as the
+	// shared-memory comparator).
+	if curInfo.size == 1 && bestInfo.size == 1 && best > cv {
+		return move{}, false
+	}
+	return move{lv: lv, from: cv, to: best}, true
+}
+
+// sweep is step (ii) of Algorithm 3: every active local vertex evaluates
+// its best move, double-buffered across the whole sweep. It returns the
+// chosen moves without applying them.
+func (st *phaseState) sweep(iter int) []move {
+	t0 := time.Now()
+	defer func() { st.steps.Compute += time.Since(t0) }()
+	nw := st.cfg.Threads
+	perWorker := make([][]move, nw)
+	par.For(int(st.dg.LocalN), nw, func(w, lo, hi int) {
+		scratch := make(map[int64]float64, 64)
+		var moves []move
+		for lvi := lo; lvi < hi; lvi++ {
+			lv := int64(lvi)
+			if !st.isActive(lv, iter) {
+				continue
+			}
+			if mv, ok := st.evaluateVertex(lv, scratch); ok {
+				moves = append(moves, mv)
+			}
+		}
+		perWorker[w] = moves
+	})
+	var all []move
+	for _, ms := range perWorker {
+		all = append(all, ms...)
+	}
+	return all
+}
+
+// sweepByClasses processes local vertices one distance-1 color class at a
+// time (§VI extension): members of a class are mutually non-adjacent, so
+// their decisions are independent, and each class observes the local moves
+// of all earlier classes within the same iteration. Community (A_c, size)
+// values stay at their iteration-start snapshot — updating them mid-
+// iteration would be inconsistent with the remote communities that cannot
+// be refreshed until the delta push.
+func (st *phaseState) sweepByClasses(classes [][]int64, iter int) []move {
+	t0 := time.Now()
+	defer func() { st.steps.Compute += time.Since(t0) }()
+	nw := st.cfg.Threads
+	var all []move
+	for _, class := range classes {
+		perWorker := make([][]move, nw)
+		par.For(len(class), nw, func(w, lo, hi int) {
+			scratch := make(map[int64]float64, 64)
+			var moves []move
+			for i := lo; i < hi; i++ {
+				lv := class[i]
+				if !st.isActive(lv, iter) {
+					continue
+				}
+				if mv, ok := st.evaluateVertex(lv, scratch); ok {
+					moves = append(moves, mv)
+				}
+			}
+			perWorker[w] = moves
+		})
+		for _, ms := range perWorker {
+			// Apply class moves immediately so later classes see them.
+			for _, mv := range ms {
+				st.comm[mv.lv] = mv.to
+			}
+			all = append(all, ms...)
+		}
+	}
+	return all
+}
+
+// applyMoves is step (iii)'s local half: update local assignments and
+// accumulate the (ΔA, Δsize) each source/destination community incurred
+// (line 9 of Algorithm 3); the deltas then flow to community owners.
+func (st *phaseState) applyMoves(moves []move) map[int64]delta {
+	deltas := make(map[int64]delta, 2*len(moves))
+	for _, mv := range moves {
+		st.comm[mv.lv] = mv.to
+		kv := st.dg.K[mv.lv]
+		d := deltas[mv.from]
+		d.a -= kv
+		d.size--
+		deltas[mv.from] = d
+		d = deltas[mv.to]
+		d.a += kv
+		d.size++
+		deltas[mv.to] = d
+	}
+	return deltas
+}
+
+// snapshot captures the state an iteration may need to roll back: local
+// assignments and the owned community table. Ghost tables are not included
+// — they reflect prior iterations' (kept) moves.
+type snapshot struct {
+	comm  []int64
+	cA    []float64
+	cSize []int64
+}
+
+func (st *phaseState) snapshot(s *snapshot) {
+	if s.comm == nil {
+		s.comm = make([]int64, len(st.comm))
+		s.cA = make([]float64, len(st.cA))
+		s.cSize = make([]int64, len(st.cSize))
+	}
+	copy(s.comm, st.comm)
+	copy(s.cA, st.cA)
+	copy(s.cSize, st.cSize)
+}
+
+func (st *phaseState) restore(s *snapshot) {
+	copy(st.comm, s.comm)
+	copy(st.cA, s.cA)
+	copy(st.cSize, s.cSize)
+}
+
+// iterate runs the Louvain iterations of one phase (the while-loop of
+// Algorithm 3) with threshold tau, and returns the phase statistics. On
+// return st.comm holds the phase's final assignment.
+func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
+	stat := PhaseStat{Vertices: st.dg.GlobalN, Tau: tau}
+	prevQ := math.Inf(-1)
+	var snap snapshot
+	globalN := st.dg.GlobalN
+
+	var classes [][]int64
+	if st.cfg.UseColoring {
+		color, numColors, err := DistColoring(st.dg, st.cfg.Seed)
+		if err != nil {
+			return stat, err
+		}
+		classes = colorClasses(color, numColors)
+		stat.Colors = numColors
+	}
+
+	for {
+		if st.cfg.MaxIterations > 0 && stat.Iterations >= st.cfg.MaxIterations {
+			stat.Exit = ExitMaxIter
+			break
+		}
+		stat.Iterations++
+
+		localInactive := st.updateActivity(stat.Iterations)
+		if st.cfg.ETC {
+			// The ETC variant's extra communication: a global count of
+			// inactive vertices; ≥ETCExit ends the phase.
+			ta := time.Now()
+			globalInactive, err := st.dg.Comm.AllreduceInt64(localInactive, mpi.OpSum)
+			st.steps.Allreduce += time.Since(ta)
+			if err != nil {
+				return stat, err
+			}
+			stat.InactiveFrac = float64(globalInactive) / float64(globalN)
+			if stat.InactiveFrac >= st.cfg.ETCExit {
+				stat.Iterations-- // this iteration did not run
+				stat.Exit = ExitETC
+				break
+			}
+		}
+
+		// (i) refresh ghost vertex communities.
+		if err := st.exchangeGhostComm(); err != nil {
+			return stat, err
+		}
+		// (ii-prep) pull (A_c, size) for referenced remote communities.
+		if err := st.fetchCommunityInfo(); err != nil {
+			return stat, err
+		}
+
+		st.snapshot(&snap)
+
+		// (ii) local ΔQ sweep; (iii) apply + push community updates.
+		var moves []move
+		if st.cfg.UseColoring {
+			moves = st.sweepByClasses(classes, stat.Iterations)
+		} else {
+			moves = st.sweep(stat.Iterations)
+		}
+		deltas := st.applyMoves(moves)
+		if err := st.pushDeltas(deltas); err != nil {
+			return stat, err
+		}
+
+		// (iv) global modularity (+ the iteration's migration count).
+		q, globalMoves, err := st.modularityAndMoves(int64(len(moves)))
+		if err != nil {
+			return stat, err
+		}
+		stat.QTrajectory = append(stat.QTrajectory, q)
+		stat.MovesTrajectory = append(stat.MovesTrajectory, globalMoves)
+
+		// (v) threshold check.
+		if q-prevQ <= tau {
+			if !math.IsInf(prevQ, -1) && q < prevQ {
+				// Joint moves decreased Q; every rank reverts this
+				// iteration (the decision derives from the allreduced q,
+				// so all ranks agree).
+				st.restore(&snap)
+			} else {
+				prevQ = q
+			}
+			stat.Exit = ExitTau
+			break
+		}
+		prevQ = q
+	}
+
+	if math.IsInf(prevQ, -1) {
+		// Zero completed iterations (e.g. immediate ETC exit): measure
+		// the current assignment.
+		q, err := st.modularity()
+		if err != nil {
+			return stat, err
+		}
+		prevQ = q
+	}
+	stat.Modularity = prevQ
+
+	if st.cfg.Alpha > 0 && !st.cfg.ETC {
+		// Plain ET never counts inactives during the run (that is ETC's
+		// extra communication step); gather the figure once per phase for
+		// reporting, outside the algorithm's decision path.
+		var localInactive int64
+		for _, in := range st.inactive {
+			if in {
+				localInactive++
+			}
+		}
+		globalInactive, err := st.dg.Comm.AllreduceInt64(localInactive, mpi.OpSum)
+		if err != nil {
+			return stat, err
+		}
+		if globalN > 0 {
+			stat.InactiveFrac = float64(globalInactive) / float64(globalN)
+		}
+	}
+
+	// Rebuild needs current ghost communities for edge relabeling.
+	if err := st.exchangeGhostComm(); err != nil {
+		return stat, err
+	}
+	return stat, nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"distlouvain/internal/dgraph"
+	"distlouvain/internal/mpi"
+	"distlouvain/internal/partition"
+)
+
+// rebuild performs the distributed graph reconstruction of Fig. 1 at the
+// end of a phase. extraIDs lists additional old community IDs this rank
+// needs translated (the labels held in its slice of the original-vertex
+// assignment); the returned map covers every old community referenced by
+// local vertices, local neighbourhoods and extraIDs.
+//
+// Steps (numbering as in the paper):
+//  1. count surviving local communities and renumber them from 0;
+//  2. drop owned community IDs no longer associated with any vertex;
+//  3. renumber globally via an exclusive prefix sum;
+//  4. resolve new IDs for old communities referenced remotely;
+//  5. build partial new edge lists from local adjacencies;
+//  6. redistribute so every rank owns an equal share of new vertices;
+//  7. rebuild CSR index/edge arrays.
+func (st *phaseState) rebuild(extraIDs []int64) (*dgraph.DistGraph, map[int64]int64, error) {
+	t0 := time.Now()
+	defer func() { st.steps.Rebuild += time.Since(t0) }()
+	c := st.dg.Comm
+	p := c.Size()
+
+	// Steps 1–2: surviving owned communities, renumbered locally. The
+	// community table is authoritative: size > 0 means some vertex
+	// (anywhere) is assigned to it.
+	survivors := make([]int64, 0, 64)
+	for lc := int64(0); lc < st.dg.LocalN; lc++ {
+		if st.cSize[lc] > 0 {
+			survivors = append(survivors, st.dg.Base+lc)
+		}
+	}
+	localNew := make(map[int64]int64, len(survivors)) // old cid -> local index
+	for i, cid := range survivors {
+		localNew[cid] = int64(i)
+	}
+
+	// Step 3: global renumbering by exclusive prefix sum.
+	ta := time.Now()
+	myBase, err := c.ExscanInt64(int64(len(survivors)))
+	if err != nil {
+		return nil, nil, err
+	}
+	totalNew, err := c.AllreduceInt64(int64(len(survivors)), mpi.OpSum)
+	st.steps.Allreduce += time.Since(ta)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Step 4: resolve old→new IDs for every referenced community.
+	needed := make(map[int64]struct{})
+	for _, cid := range st.comm {
+		needed[cid] = struct{}{}
+	}
+	for _, cid := range st.ghostComm {
+		needed[cid] = struct{}{}
+	}
+	for _, cid := range extraIDs {
+		needed[cid] = struct{}{}
+	}
+	oldToNew := make(map[int64]int64, len(needed))
+	reqByOwner := make([][]int64, p)
+	for cid := range needed {
+		if n, ok := localNew[cid]; ok {
+			oldToNew[cid] = myBase + n
+			continue
+		}
+		if st.dg.IsLocal(cid) {
+			return nil, nil, fmt.Errorf("core: referenced community %d is owned locally but empty", cid)
+		}
+		o := st.dg.Part.Owner(cid)
+		reqByOwner[o] = append(reqByOwner[o], cid)
+	}
+	for q := range reqByOwner {
+		sort.Slice(reqByOwner[q], func(i, j int) bool { return reqByOwner[q][i] < reqByOwner[q][j] })
+	}
+	send := make([][]byte, p)
+	for q := 0; q < p; q++ {
+		send[q] = mpi.EncodeInt64s(reqByOwner[q])
+	}
+	reqs, err := c.Alltoall(send)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp := make([][]byte, p)
+	for q := 0; q < p; q++ {
+		ids, err := mpi.DecodeInt64s(reqs[q])
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]int64, len(ids))
+		for i, cid := range ids {
+			n, ok := localNew[cid]
+			if !ok {
+				return nil, nil, fmt.Errorf("core: rank %d asked for empty community %d", q, cid)
+			}
+			out[i] = myBase + n
+		}
+		resp[q] = mpi.EncodeInt64s(out)
+	}
+	answers, err := c.Alltoall(resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	for q := 0; q < p; q++ {
+		vals, err := mpi.DecodeInt64s(answers[q])
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(vals) != len(reqByOwner[q]) {
+			return nil, nil, fmt.Errorf("core: renumber reply from rank %d has %d entries, want %d", q, len(vals), len(reqByOwner[q]))
+		}
+		for i, cid := range reqByOwner[q] {
+			oldToNew[cid] = vals[i]
+		}
+	}
+
+	// Step 5: partial coarse edge lists. Every local fine arc v→u maps to
+	// the coarse arc new(comm(v))→new(comm(u)); parallel arcs merge.
+	type pair struct{ a, b int64 }
+	acc := make(map[pair]float64)
+	for lv := int64(0); lv < st.dg.LocalN; lv++ {
+		a := oldToNew[st.comm[lv]]
+		for _, e := range st.dg.Neighbors(lv) {
+			b := oldToNew[st.commOf(e.To)]
+			acc[pair{a, b}] += e.W
+		}
+	}
+	arcs := make([]dgraph.Arc, 0, len(acc))
+	for pr, w := range acc {
+		arcs = append(arcs, dgraph.Arc{From: pr.a, To: pr.b, W: w})
+	}
+
+	// Steps 6–7: redistribute to an even vertex partition and rebuild the
+	// CSR (BuildFromArcs routes each arc to the owner of its source).
+	newPart := partition.ByVertexCount(totalNew, p)
+	ndg, err := dgraph.BuildFromArcs(c, totalNew, newPart, arcs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ndg, oldToNew, nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"distlouvain/internal/dgraph"
+	"distlouvain/internal/gio"
+	"distlouvain/internal/graph"
+	"distlouvain/internal/mpi"
+)
+
+// Run executes the multi-phase distributed Louvain method (Algorithm 2) on
+// the rank's share of the distributed graph. Every rank of dg.Comm must
+// call Run with an identical Config.
+//
+// The returned assignment labels are dense global community IDs in
+// [0, Communities); Result.LocalComm indexes them by original local vertex.
+func Run(dg *dgraph.DistGraph, cfg Config) (*Result, error) {
+	start := time.Now()
+	cfg.fill()
+	c := dg.Comm
+	trafficStart := c.Stats().Snapshot()
+
+	res := &Result{
+		LocalBase: dg.Base,
+		LocalComm: make([]int64, dg.LocalN),
+	}
+	// origComm[i] is the current-space community of original vertex
+	// Base+i; it starts as the identity and is remapped every rebuild.
+	origComm := res.LocalComm
+	for i := range origComm {
+		origComm[i] = dg.Base + int64(i)
+	}
+
+	steps := &StepTimes{}
+	cur := dg
+	prevQ := math.Inf(-1)
+	finalTau := cfg.Tau
+	forcedFinal := false
+
+	for phase := 0; phase < cfg.MaxPhases; phase++ {
+		tau := finalTau
+		if len(cfg.TauSchedule) > 0 && !forcedFinal {
+			tau = cfg.TauSchedule[phase%len(cfg.TauSchedule)]
+		}
+
+		st, err := newPhaseState(cur, &cfg, phase, steps)
+		if err != nil {
+			return nil, err
+		}
+		stat, err := st.iterate(tau)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases = append(res.Phases, stat)
+		res.TotalIterations += stat.Iterations
+
+		// Flatten: each original vertex currently tracks a meta-vertex of
+		// this phase's graph; advance it to that meta-vertex's final
+		// community (serial equivalent: comm[res.Comm[v]]).
+		flat, err := st.resolveVertexComms(origComm)
+		if err != nil {
+			return nil, err
+		}
+		for i, mv := range origComm {
+			origComm[i] = flat[mv]
+		}
+
+		// Rebuild unconditionally: it densifies labels and yields the
+		// exact final modularity even when this was the last phase.
+		ndg, oldToNew, err := st.rebuild(origComm)
+		if err != nil {
+			return nil, err
+		}
+		for i, cid := range origComm {
+			origComm[i] = oldToNew[cid]
+		}
+		res.Communities = ndg.GlobalN
+		noCompaction := ndg.GlobalN == cur.GlobalN
+		cur = ndg
+
+		gain := stat.Modularity - prevQ
+		prevQ = stat.Modularity
+		if gain <= finalTau {
+			if len(cfg.TauSchedule) > 0 && tau > finalTau && !forcedFinal {
+				// Converged under a cycled (coarser) threshold: force one
+				// more pass at the lowest threshold to secure quality
+				// (§V-C a).
+				forcedFinal = true
+				continue
+			}
+			break
+		}
+		if stat.Exit == ExitETC {
+			// ETC terminated the phase by inactivity rather than τ;
+			// continue to the next phase (the outer loop's τ test above
+			// governs overall convergence).
+			continue
+		}
+		if noCompaction {
+			break
+		}
+	}
+
+	// Exact final modularity from the final coarse graph: with the
+	// identity partition, E_c is vertex c's self loop and A_c its degree.
+	var eLocal, aSqLocal float64
+	for lv := int64(0); lv < cur.LocalN; lv++ {
+		eLocal += cur.SelfLoop[lv]
+		aSqLocal += cur.K[lv] * cur.K[lv]
+	}
+	sums, err := c.AllreduceFloat64s([]float64{eLocal, aSqLocal}, mpi.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	if cur.M2 > 0 {
+		res.Modularity = sums[0]/cur.M2 - sums[1]/(cur.M2*cur.M2)
+	}
+
+	if cfg.GatherOutput {
+		if err := gatherOutput(dg, res); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Runtime = time.Since(start)
+	steps.Total = res.Runtime
+	res.Steps = *steps
+	res.Traffic = c.Stats().Snapshot().Sub(trafficStart)
+	return res, nil
+}
+
+// gatherOutput assembles the complete assignment at rank 0 (the paper's
+// quality-assessment collectives).
+func gatherOutput(dg *dgraph.DistGraph, res *Result) error {
+	payload := mpi.AppendInt64(nil, res.LocalBase)
+	payload = mpi.AppendInt64s(payload, res.LocalComm)
+	blocks, err := dg.Comm.Gatherv(0, payload)
+	if err != nil {
+		return err
+	}
+	if dg.Comm.Rank() != 0 {
+		return nil
+	}
+	global := make([]int64, dg.GlobalN)
+	for _, b := range blocks {
+		d := mpi.NewDecoder(b)
+		base, err := d.Int64()
+		if err != nil {
+			return err
+		}
+		vals, err := d.Int64s(d.Remaining() / 8)
+		if err != nil {
+			return err
+		}
+		copy(global[base:], vals)
+	}
+	res.GlobalComm = global
+	return nil
+}
+
+// RunOnEdges is a convenience harness: it splits the given edge list into p
+// contiguous chunks, spins up p in-process ranks, builds the distributed
+// graph and runs the configured Louvain variant. It returns rank 0's Result
+// with GlobalComm populated (GatherOutput is forced on). Tests, examples
+// and benchmarks use it as the single-binary analogue of an mpirun
+// invocation.
+func RunOnEdges(p int, n int64, edges []graph.RawEdge, cfg Config) (*Result, error) {
+	cfg.GatherOutput = true
+	var root *Result
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		lo, hi := gio.SegmentRange(int64(len(edges)), c.Rank(), p)
+		dg, err := dgraph.Build(c, n, edges[lo:hi], nil)
+		if err != nil {
+			return err
+		}
+		res, err := Run(dg, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			root = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return root, nil
+}

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"distlouvain/internal/dgraph"
+	"distlouvain/internal/mpi"
+	"distlouvain/internal/par"
+)
+
+// cinfo is the per-community state a rank needs to evaluate ΔQ against a
+// community: its total incident weight A_c and its member count.
+type cinfo struct {
+	a    float64
+	size int64
+}
+
+// phaseState holds one rank's working set for a single Louvain phase. The
+// community ID space coincides with the current graph's vertex ID space and
+// shares its partition: rank owner(c) maintains the authoritative (A_c,
+// size) entry for community c.
+type phaseState struct {
+	dg  *dgraph.DistGraph
+	cfg *Config
+
+	comm      []int64 // community of each local vertex (global IDs)
+	ghostComm []int64 // community of each ghost vertex (parallel dg.Ghosts)
+
+	// Owned-community table, indexed by cid − Base.
+	cA    []float64
+	cSize []int64
+
+	// Ghost-exchange plumbing, built once per phase:
+	// pushList[q] lists local vertex indices whose community rank q wants
+	// every iteration; ghostSlots[q] lists the positions in dg.Ghosts that
+	// rank q's reply fills (same order as the request this rank sent).
+	pushList   [][]int64
+	ghostSlots [][]int32
+	lastSent   [][]int64 // per pushList entry, last transmitted community
+	// ghostPeers lists the ranks this rank exchanges ghosts with (the
+	// neighborhood of the sparse collective); symmetric across ranks by
+	// graph symmetry.
+	ghostPeers []int
+
+	// remoteInfo caches (A_c, size) of non-owned communities for the
+	// current iteration.
+	remoteInfo map[int64]cinfo
+
+	// ET state per local vertex.
+	prob     []float64
+	inactive []bool
+	prevComm []int64
+	seed     uint64
+
+	steps *StepTimes
+}
+
+func newPhaseState(dg *dgraph.DistGraph, cfg *Config, phaseIdx int, steps *StepTimes) (*phaseState, error) {
+	n := dg.LocalN
+	st := &phaseState{
+		dg: dg, cfg: cfg,
+		comm:       make([]int64, n),
+		ghostComm:  make([]int64, len(dg.Ghosts)),
+		cA:         make([]float64, n),
+		cSize:      make([]int64, n),
+		remoteInfo: make(map[int64]cinfo),
+		prob:       make([]float64, n),
+		inactive:   make([]bool, n),
+		prevComm:   make([]int64, n),
+		seed:       cfg.Seed ^ par.Mix64(uint64(phaseIdx)+0x5851f42d4c957f2d),
+		steps:      steps,
+	}
+	for lv := int64(0); lv < n; lv++ {
+		g := dg.Global(lv)
+		st.comm[lv] = g
+		st.prevComm[lv] = g
+		st.cA[lv] = dg.K[lv]
+		st.cSize[lv] = 1
+		st.prob[lv] = 1
+	}
+	// Initially every vertex is its own community, so ghost communities
+	// are derivable without communication (§IV-A).
+	copy(st.ghostComm, dg.Ghosts)
+	if err := st.setupGhostLists(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// setupGhostLists performs the one-time-per-phase exchange of Algorithm 4:
+// each rank tells every owner which of its vertices it holds as ghosts.
+func (st *phaseState) setupGhostLists() error {
+	c := st.dg.Comm
+	p := c.Size()
+	st.ghostSlots = make([][]int32, p)
+	for i := range st.dg.Ghosts {
+		o := st.dg.GhostOwner[i]
+		st.ghostSlots[o] = append(st.ghostSlots[o], int32(i))
+	}
+	send := make([][]byte, p)
+	for q := 0; q < p; q++ {
+		ids := make([]int64, len(st.ghostSlots[q]))
+		for i, slot := range st.ghostSlots[q] {
+			ids[i] = st.dg.Ghosts[slot]
+		}
+		send[q] = mpi.EncodeInt64s(ids)
+	}
+	recv, err := c.Alltoall(send)
+	if err != nil {
+		return err
+	}
+	st.pushList = make([][]int64, p)
+	st.lastSent = make([][]int64, p)
+	for q := 0; q < p; q++ {
+		ids, err := mpi.DecodeInt64s(recv[q])
+		if err != nil {
+			return err
+		}
+		st.pushList[q] = make([]int64, len(ids))
+		st.lastSent[q] = make([]int64, len(ids))
+		for i, g := range ids {
+			if !st.dg.IsLocal(g) {
+				return fmt.Errorf("core: rank %d asked rank %d for non-owned vertex %d", q, c.Rank(), g)
+			}
+			st.pushList[q][i] = g - st.dg.Base
+			st.lastSent[q][i] = -1 // force first send
+		}
+	}
+	for q := 0; q < p; q++ {
+		if q != c.Rank() && (len(st.pushList[q]) > 0 || len(st.ghostSlots[q]) > 0) {
+			st.ghostPeers = append(st.ghostPeers, q)
+		}
+	}
+	return nil
+}
+
+// exchangeGhostComm is step (i) of Algorithm 3: owners push the latest
+// community assignment of every vertex some rank holds as a ghost. With
+// SendChangedOnly, only entries that changed since the last send travel
+// (the §IV-B "further sophistication": inactive vertices stop generating
+// traffic). With UseNeighborCollectives, the exchange runs over the sparse
+// ghost-neighbour topology instead of the dense all-to-all.
+func (st *phaseState) exchangeGhostComm() error {
+	t0 := time.Now()
+	defer func() { st.steps.GhostComm += time.Since(t0) }()
+	c := st.dg.Comm
+
+	encodeFor := func(q int) []byte {
+		if st.cfg.SendChangedOnly {
+			var buf []byte
+			for i, lv := range st.pushList[q] {
+				if v := st.comm[lv]; v != st.lastSent[q][i] {
+					buf = mpi.AppendInt64(buf, int64(i))
+					buf = mpi.AppendInt64(buf, v)
+					st.lastSent[q][i] = v
+				}
+			}
+			return buf
+		}
+		buf := make([]byte, 0, 8*len(st.pushList[q]))
+		for _, lv := range st.pushList[q] {
+			buf = mpi.AppendInt64(buf, st.comm[lv])
+		}
+		return buf
+	}
+	decodeFrom := func(q int, data []byte) error {
+		vals, err := mpi.DecodeInt64s(data)
+		if err != nil {
+			return err
+		}
+		if st.cfg.SendChangedOnly {
+			if len(vals)%2 != 0 {
+				return fmt.Errorf("core: odd changed-only payload from rank %d", q)
+			}
+			for i := 0; i < len(vals); i += 2 {
+				pos := vals[i]
+				if pos < 0 || pos >= int64(len(st.ghostSlots[q])) {
+					return fmt.Errorf("core: ghost position %d out of range from rank %d", pos, q)
+				}
+				st.ghostComm[st.ghostSlots[q][pos]] = vals[i+1]
+			}
+			return nil
+		}
+		if len(vals) != len(st.ghostSlots[q]) {
+			return fmt.Errorf("core: ghost reply from rank %d has %d entries, want %d", q, len(vals), len(st.ghostSlots[q]))
+		}
+		for i, v := range vals {
+			st.ghostComm[st.ghostSlots[q][i]] = v
+		}
+		return nil
+	}
+
+	if st.cfg.UseNeighborCollectives {
+		send := make([][]byte, len(st.ghostPeers))
+		for i, q := range st.ghostPeers {
+			send[i] = encodeFor(q)
+		}
+		recv, err := c.NeighborAlltoall(st.ghostPeers, send)
+		if err != nil {
+			return err
+		}
+		for i, q := range st.ghostPeers {
+			if err := decodeFrom(q, recv[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	p := c.Size()
+	send := make([][]byte, p)
+	for q := 0; q < p; q++ {
+		send[q] = encodeFor(q)
+	}
+	recv, err := c.Alltoall(send)
+	if err != nil {
+		return err
+	}
+	for q := 0; q < p; q++ {
+		if err := decodeFrom(q, recv[q]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commOf resolves the community of a global vertex from local state (owned)
+// or the ghost table.
+func (st *phaseState) commOf(g int64) int64 {
+	if st.dg.IsLocal(g) {
+		return st.comm[g-st.dg.Base]
+	}
+	return st.ghostComm[st.dg.GhostIndex[g]]
+}
+
+// infoOf resolves (A_c, size) of a community from the owned table or the
+// per-iteration remote cache.
+func (st *phaseState) infoOf(cid int64) (cinfo, bool) {
+	if st.dg.IsLocal(cid) {
+		lc := cid - st.dg.Base
+		return cinfo{a: st.cA[lc], size: st.cSize[lc]}, true
+	}
+	ci, ok := st.remoteInfo[cid]
+	return ci, ok
+}
+
+// fetchCommunityInfo implements the pull half of step (ii)'s preparation:
+// collect the communities referenced by local neighbourhoods, request the
+// (A_c, size) entries of the non-owned ones from their owners, and cache
+// the replies for this iteration.
+func (st *phaseState) fetchCommunityInfo() error {
+	t0 := time.Now()
+	defer func() { st.steps.CommunityComm += time.Since(t0) }()
+	c := st.dg.Comm
+	p := c.Size()
+
+	needed := make(map[int64]struct{})
+	for lv := int64(0); lv < st.dg.LocalN; lv++ {
+		if cv := st.comm[lv]; !st.dg.IsLocal(cv) {
+			needed[cv] = struct{}{}
+		}
+	}
+	for _, gc := range st.ghostComm {
+		if !st.dg.IsLocal(gc) {
+			needed[gc] = struct{}{}
+		}
+	}
+	// Local vertices' communities referenced through local neighbours are
+	// covered by the two loops above: a local neighbour's community is
+	// either owned (table lookup) or appears in st.comm; a remote
+	// neighbour's community appears in ghostComm.
+
+	reqByOwner := make([][]int64, p)
+	for cid := range needed {
+		o := st.dg.Part.Owner(cid)
+		reqByOwner[o] = append(reqByOwner[o], cid)
+	}
+	for q := range reqByOwner {
+		sort.Slice(reqByOwner[q], func(i, j int) bool { return reqByOwner[q][i] < reqByOwner[q][j] })
+	}
+	send := make([][]byte, p)
+	for q := 0; q < p; q++ {
+		send[q] = mpi.EncodeInt64s(reqByOwner[q])
+	}
+	reqs, err := c.Alltoall(send)
+	if err != nil {
+		return err
+	}
+	// Answer requests: (A_c, size) per cid, in request order.
+	resp := make([][]byte, p)
+	for q := 0; q < p; q++ {
+		ids, err := mpi.DecodeInt64s(reqs[q])
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 0, 16*len(ids))
+		for _, cid := range ids {
+			if !st.dg.IsLocal(cid) {
+				return fmt.Errorf("core: rank %d asked rank %d for non-owned community %d", q, c.Rank(), cid)
+			}
+			lc := cid - st.dg.Base
+			buf = mpi.AppendFloat64(buf, st.cA[lc])
+			buf = mpi.AppendInt64(buf, st.cSize[lc])
+		}
+		resp[q] = buf
+	}
+	answers, err := c.Alltoall(resp)
+	if err != nil {
+		return err
+	}
+	clear(st.remoteInfo)
+	for q := 0; q < p; q++ {
+		d := mpi.NewDecoder(answers[q])
+		for _, cid := range reqByOwner[q] {
+			a, err := d.Float64()
+			if err != nil {
+				return err
+			}
+			size, err := d.Int64()
+			if err != nil {
+				return err
+			}
+			st.remoteInfo[cid] = cinfo{a: a, size: size}
+		}
+	}
+	return nil
+}
+
+// resolveVertexComms looks up the current community of arbitrary global
+// vertices of the current graph, fetching remotely-owned entries from their
+// owners. It is a collective: every rank must call it once per phase (the
+// driver uses it to flatten the original-vertex assignment through this
+// phase's meta-vertices). The result maps each queried ID to its community.
+func (st *phaseState) resolveVertexComms(ids []int64) (map[int64]int64, error) {
+	c := st.dg.Comm
+	p := c.Size()
+	out := make(map[int64]int64, len(ids))
+	reqByOwner := make([][]int64, p)
+	for _, g := range ids {
+		if _, done := out[g]; done {
+			continue
+		}
+		if st.dg.IsLocal(g) {
+			out[g] = st.comm[g-st.dg.Base]
+			continue
+		}
+		out[g] = -1 // placeholder marking "requested"
+		o := st.dg.Part.Owner(g)
+		reqByOwner[o] = append(reqByOwner[o], g)
+	}
+	send := make([][]byte, p)
+	for q := 0; q < p; q++ {
+		send[q] = mpi.EncodeInt64s(reqByOwner[q])
+	}
+	reqs, err := c.Alltoall(send)
+	if err != nil {
+		return nil, err
+	}
+	resp := make([][]byte, p)
+	for q := 0; q < p; q++ {
+		vs, err := mpi.DecodeInt64s(reqs[q])
+		if err != nil {
+			return nil, err
+		}
+		ans := make([]int64, len(vs))
+		for i, g := range vs {
+			if !st.dg.IsLocal(g) {
+				return nil, fmt.Errorf("core: rank %d asked rank %d for comm of non-owned vertex %d", q, c.Rank(), g)
+			}
+			ans[i] = st.comm[g-st.dg.Base]
+		}
+		resp[q] = mpi.EncodeInt64s(ans)
+	}
+	answers, err := c.Alltoall(resp)
+	if err != nil {
+		return nil, err
+	}
+	for q := 0; q < p; q++ {
+		vals, err := mpi.DecodeInt64s(answers[q])
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != len(reqByOwner[q]) {
+			return nil, fmt.Errorf("core: comm-lookup reply from rank %d has %d entries, want %d", q, len(vals), len(reqByOwner[q]))
+		}
+		for i, g := range reqByOwner[q] {
+			out[g] = vals[i]
+		}
+	}
+	return out, nil
+}
+
+// delta is the (ΔA, Δsize) a community accumulated this iteration.
+type delta struct {
+	a    float64
+	size int64
+}
+
+// pushDeltas is step (iii) of Algorithm 3: updated information on ghost
+// communities travels to their owners; owners fold in the deltas for their
+// local communities.
+func (st *phaseState) pushDeltas(deltas map[int64]delta) error {
+	t0 := time.Now()
+	defer func() { st.steps.CommunityComm += time.Since(t0) }()
+	c := st.dg.Comm
+	p := c.Size()
+	send := make([][]byte, p)
+	for cid, d := range deltas {
+		if st.dg.IsLocal(cid) {
+			st.applyDelta(cid, d)
+			continue
+		}
+		o := st.dg.Part.Owner(cid)
+		send[o] = mpi.AppendInt64(send[o], cid)
+		send[o] = mpi.AppendFloat64(send[o], d.a)
+		send[o] = mpi.AppendInt64(send[o], d.size)
+	}
+	recv, err := c.Alltoall(send)
+	if err != nil {
+		return err
+	}
+	for q := 0; q < p; q++ {
+		d := mpi.NewDecoder(recv[q])
+		for d.Remaining() >= 24 {
+			cid, _ := d.Int64()
+			da, _ := d.Float64()
+			dsize, err := d.Int64()
+			if err != nil {
+				return err
+			}
+			if !st.dg.IsLocal(cid) {
+				return fmt.Errorf("core: delta for non-owned community %d from rank %d", cid, q)
+			}
+			st.applyDelta(cid, delta{a: da, size: dsize})
+		}
+	}
+	return nil
+}
+
+func (st *phaseState) applyDelta(cid int64, d delta) {
+	lc := cid - st.dg.Base
+	st.cA[lc] += d.a
+	st.cSize[lc] += d.size
+	if st.cSize[lc] <= 0 {
+		// An emptied community's incident weight is exactly zero; clear
+		// float residue so modularity and rebuild see a clean table.
+		st.cSize[lc] = 0
+		st.cA[lc] = 0
+	}
+}
+
+// modularity is step (iv): every rank contributes the intra-community
+// weight of its local arcs (using current local and once-per-iteration
+// ghost information — the paper's "lag of community update") plus the
+// squared incident weights of its owned communities; one allreduce yields
+// the global Q. The local move count rides along in the same reduction so
+// the per-iteration migration rate costs no extra collective.
+func (st *phaseState) modularityAndMoves(localMoves int64) (float64, int64, error) {
+	tc := time.Now()
+	var eSum float64
+	for lv := int64(0); lv < st.dg.LocalN; lv++ {
+		cv := st.comm[lv]
+		for _, e := range st.dg.Neighbors(lv) {
+			if st.commOf(e.To) == cv {
+				eSum += e.W
+			}
+		}
+	}
+	var aSq float64
+	for lc := int64(0); lc < st.dg.LocalN; lc++ {
+		aSq += st.cA[lc] * st.cA[lc]
+	}
+	st.steps.Compute += time.Since(tc)
+
+	ta := time.Now()
+	out, err := st.dg.Comm.AllreduceFloat64s([]float64{eSum, aSq, float64(localMoves)}, mpi.OpSum)
+	st.steps.Allreduce += time.Since(ta)
+	if err != nil {
+		return 0, 0, err
+	}
+	moves := int64(out[2])
+	m2 := st.dg.M2
+	if m2 == 0 {
+		return 0, moves, nil
+	}
+	return out[0]/m2 - out[1]/(m2*m2), moves, nil
+}
+
+// modularity is modularityAndMoves without a move count (used outside the
+// iteration loop).
+func (st *phaseState) modularity() (float64, error) {
+	q, _, err := st.modularityAndMoves(0)
+	return q, err
+}

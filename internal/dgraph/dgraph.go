@@ -1,0 +1,376 @@
+// Package dgraph implements the distributed graph representation of the
+// paper's §IV: a 1-D decomposition where each rank owns a contiguous range
+// of vertices and stores their adjacency lists in CSR form with *global*
+// target IDs, plus a table of ghost vertices (vertices referenced by local
+// edges but owned elsewhere).
+//
+// Construction starts from arbitrarily scattered undirected edge chunks —
+// whatever portion of the input file (or generator output) each rank
+// happens to hold — and shuffles every directed arc to the rank owning its
+// source vertex via one personalized all-to-all exchange, exactly like the
+// input-loading step of the paper's implementation.
+package dgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"distlouvain/internal/graph"
+	"distlouvain/internal/mpi"
+	"distlouvain/internal/partition"
+)
+
+// DistGraph is one rank's share of the distributed graph.
+type DistGraph struct {
+	Comm *mpi.Comm
+	Part *partition.Partition
+
+	// GlobalN is the global vertex count; M2 the global doubled edge
+	// weight (identical at every rank).
+	GlobalN int64
+	M2      float64
+
+	// Base is the first owned global vertex; LocalN the number owned.
+	// Local vertex lv corresponds to global vertex Base+lv.
+	Base   int64
+	LocalN int64
+
+	// Index/Edges form the local CSR: neighbours of local vertex lv are
+	// Edges[Index[lv]:Index[lv+1]], with global target IDs.
+	Index []int64
+	Edges []graph.Edge
+
+	// K and SelfLoop cache per-local-vertex weighted degree and self-loop
+	// weight.
+	K        []float64
+	SelfLoop []float64
+
+	// Ghosts lists (sorted) the global IDs of vertices referenced by local
+	// edges but owned by other ranks; GhostOwner[i] is the owner of
+	// Ghosts[i]; GhostIndex inverts Ghosts.
+	Ghosts     []int64
+	GhostOwner []int
+	GhostIndex map[int64]int32
+}
+
+// Arc is one directed edge in transit between ranks. The coarsening step of
+// the Louvain driver produces directed arcs natively (each fine arc maps to
+// one coarse arc), which BuildFromArcs routes and assembles without the
+// undirected expansion Build performs.
+type Arc struct {
+	From, To int64
+	W        float64
+}
+
+// arc is the wire representation of one directed edge (24 bytes).
+type arc struct {
+	from, to int64
+	w        float64
+}
+
+func encodeArcs(arcs []arc) []byte {
+	buf := make([]byte, 0, 24*len(arcs))
+	for _, a := range arcs {
+		buf = mpi.AppendInt64(buf, a.from)
+		buf = mpi.AppendInt64(buf, a.to)
+		buf = mpi.AppendFloat64(buf, a.w)
+	}
+	return buf
+}
+
+func decodeArcs(buf []byte) ([]arc, error) {
+	if len(buf)%24 != 0 {
+		return nil, fmt.Errorf("dgraph: arc buffer length %d not a multiple of 24", len(buf))
+	}
+	d := mpi.NewDecoder(buf)
+	out := make([]arc, len(buf)/24)
+	for i := range out {
+		f, _ := d.Int64()
+		t, _ := d.Int64()
+		w, err := d.Float64()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = arc{f, t, w}
+	}
+	return out, nil
+}
+
+// EdgeBalancedPartition computes the paper's input decomposition: vertices
+// are split into contiguous ranges so that "each process receives roughly
+// the same number of edges". Every rank contributes the degree counts of
+// its raw edge chunk; one allreduce yields the global degree vector, from
+// which all ranks derive the same partition. O(n) memory per rank — the
+// same cost the paper pays for its static ownership tables.
+func EdgeBalancedPartition(c *mpi.Comm, n int64, localChunk []graph.RawEdge) (*partition.Partition, error) {
+	degrees := make([]int64, n)
+	for _, e := range localChunk {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("dgraph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		degrees[e.U]++
+		if e.V != e.U {
+			degrees[e.V]++
+		}
+	}
+	global, err := c.AllreduceInt64s(degrees, mpi.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	return partition.ByEdgeCount(global, c.Size()), nil
+}
+
+// Build assembles the distributed graph. Every rank passes the same global
+// vertex count n and its own arbitrary chunk of the undirected edge list
+// (chunks together must cover the whole input exactly once). The vertex
+// space is split with the given partition; passing nil selects the even
+// vertex split.
+func Build(c *mpi.Comm, n int64, localChunk []graph.RawEdge, part *partition.Partition) (*DistGraph, error) {
+	p := c.Size()
+	if part == nil {
+		part = partition.ByVertexCount(n, p)
+	}
+	if part.N() != n || part.Size() != p {
+		return nil, fmt.Errorf("dgraph: partition shape (N=%d, p=%d) does not match n=%d, p=%d",
+			part.N(), part.Size(), n, p)
+	}
+
+	// Expand the undirected chunk into directed arcs bucketed by the
+	// owner of the source vertex.
+	buckets := make([][]arc, p)
+	addArc := func(from, to int64, w float64) error {
+		if from < 0 || from >= n || to < 0 || to >= n {
+			return fmt.Errorf("dgraph: edge (%d,%d) out of range [0,%d)", from, to, n)
+		}
+		o := part.Owner(from)
+		buckets[o] = append(buckets[o], arc{from, to, w})
+		return nil
+	}
+	for _, e := range localChunk {
+		if err := addArc(e.U, e.V, e.W); err != nil {
+			return nil, err
+		}
+		if e.U != e.V {
+			if err := addArc(e.V, e.U, e.W); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	send := make([][]byte, p)
+	for q := 0; q < p; q++ {
+		send[q] = encodeArcs(buckets[q])
+	}
+	recv, err := c.Alltoall(send)
+	if err != nil {
+		return nil, err
+	}
+	var mine []arc
+	for _, buf := range recv {
+		arcs, err := decodeArcs(buf)
+		if err != nil {
+			return nil, err
+		}
+		mine = append(mine, arcs...)
+	}
+	return fromLocalArcs(c, n, part, mine)
+}
+
+// BuildFromArcs assembles a distributed graph from directed arcs scattered
+// arbitrarily across ranks: every arc is routed to the owner of its source
+// vertex, parallel arcs are merged by weight, and the usual CSR + ghost
+// tables are built. The arc set must already be symmetric (for every a→b
+// some rank must hold b→a of equal total weight) — which the Louvain
+// coarsening guarantees by construction.
+func BuildFromArcs(c *mpi.Comm, n int64, part *partition.Partition, arcs []Arc) (*DistGraph, error) {
+	p := c.Size()
+	if part == nil {
+		part = partition.ByVertexCount(n, p)
+	}
+	if part.N() != n || part.Size() != p {
+		return nil, fmt.Errorf("dgraph: partition shape (N=%d, p=%d) does not match n=%d, p=%d",
+			part.N(), part.Size(), n, p)
+	}
+	buckets := make([][]arc, p)
+	for _, a := range arcs {
+		if a.From < 0 || a.From >= n || a.To < 0 || a.To >= n {
+			return nil, fmt.Errorf("dgraph: arc (%d,%d) out of range [0,%d)", a.From, a.To, n)
+		}
+		o := part.Owner(a.From)
+		buckets[o] = append(buckets[o], arc{a.From, a.To, a.W})
+	}
+	send := make([][]byte, p)
+	for q := 0; q < p; q++ {
+		send[q] = encodeArcs(buckets[q])
+	}
+	recv, err := c.Alltoall(send)
+	if err != nil {
+		return nil, err
+	}
+	var mine []arc
+	for _, buf := range recv {
+		got, err := decodeArcs(buf)
+		if err != nil {
+			return nil, err
+		}
+		mine = append(mine, got...)
+	}
+	return fromLocalArcs(c, n, part, mine)
+}
+
+// fromLocalArcs finishes construction once every arc whose source this rank
+// owns has arrived.
+func fromLocalArcs(c *mpi.Comm, n int64, part *partition.Partition, mine []arc) (*DistGraph, error) {
+	rank := c.Rank()
+	base, hi := part.Range(rank)
+	localN := hi - base
+
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].from != mine[j].from {
+			return mine[i].from < mine[j].from
+		}
+		return mine[i].to < mine[j].to
+	})
+
+	dg := &DistGraph{
+		Comm: c, Part: part, GlobalN: n,
+		Base: base, LocalN: localN,
+		Index:      make([]int64, localN+1),
+		K:          make([]float64, localN),
+		SelfLoop:   make([]float64, localN),
+		GhostIndex: make(map[int64]int32),
+	}
+
+	// Merge parallel arcs and fill the CSR.
+	for i := 0; i < len(mine); {
+		j := i + 1
+		w := mine[i].w
+		for j < len(mine) && mine[j].from == mine[i].from && mine[j].to == mine[i].to {
+			w += mine[j].w
+			j++
+		}
+		from, to := mine[i].from, mine[i].to
+		if !part.Owns(rank, from) {
+			return nil, fmt.Errorf("dgraph: rank %d received arc from unowned vertex %d", rank, from)
+		}
+		dg.Edges = append(dg.Edges, graph.Edge{To: to, W: w})
+		lv := from - base
+		dg.Index[lv+1]++
+		dg.K[lv] += w
+		if to == from {
+			dg.SelfLoop[lv] += w
+		}
+		if !part.Owns(rank, to) {
+			if _, seen := dg.GhostIndex[to]; !seen {
+				dg.GhostIndex[to] = -1 // slot assigned below
+				dg.Ghosts = append(dg.Ghosts, to)
+			}
+		}
+		i = j
+	}
+	for lv := int64(0); lv < localN; lv++ {
+		dg.Index[lv+1] += dg.Index[lv]
+	}
+	sort.Slice(dg.Ghosts, func(i, j int) bool { return dg.Ghosts[i] < dg.Ghosts[j] })
+	dg.GhostOwner = make([]int, len(dg.Ghosts))
+	for i, g := range dg.Ghosts {
+		dg.GhostIndex[g] = int32(i)
+		dg.GhostOwner[i] = part.Owner(g)
+	}
+
+	var localW float64
+	for _, e := range dg.Edges {
+		localW += e.W
+	}
+	m2, err := c.AllreduceFloat64(localW, mpi.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	dg.M2 = m2
+	return dg, nil
+}
+
+// Neighbors returns the adjacency slice of local vertex lv (global targets).
+func (dg *DistGraph) Neighbors(lv int64) []graph.Edge {
+	return dg.Edges[dg.Index[lv]:dg.Index[lv+1]]
+}
+
+// Global converts a local vertex index to its global ID.
+func (dg *DistGraph) Global(lv int64) int64 { return dg.Base + lv }
+
+// IsLocal reports whether global vertex g is owned by this rank.
+func (dg *DistGraph) IsLocal(g int64) bool {
+	return g >= dg.Base && g < dg.Base+dg.LocalN
+}
+
+// LocalArcs returns the number of stored directed slots on this rank.
+func (dg *DistGraph) LocalArcs() int64 { return int64(len(dg.Edges)) }
+
+// Validate checks local structural invariants plus the cheap global ones.
+func (dg *DistGraph) Validate() error {
+	if int64(len(dg.Index)) != dg.LocalN+1 {
+		return fmt.Errorf("dgraph: index length %d, want %d", len(dg.Index), dg.LocalN+1)
+	}
+	for lv := int64(0); lv < dg.LocalN; lv++ {
+		if dg.Index[lv+1] < dg.Index[lv] {
+			return fmt.Errorf("dgraph: index not monotone at %d", lv)
+		}
+	}
+	if dg.Index[dg.LocalN] != int64(len(dg.Edges)) {
+		return fmt.Errorf("dgraph: index end %d, want %d", dg.Index[dg.LocalN], len(dg.Edges))
+	}
+	for i, e := range dg.Edges {
+		if e.To < 0 || e.To >= dg.GlobalN {
+			return fmt.Errorf("dgraph: slot %d targets out-of-range vertex %d", i, e.To)
+		}
+		if e.W < 0 {
+			return fmt.Errorf("dgraph: slot %d has negative weight", i)
+		}
+	}
+	for i, g := range dg.Ghosts {
+		if dg.IsLocal(g) {
+			return fmt.Errorf("dgraph: ghost %d is locally owned", g)
+		}
+		if i > 0 && dg.Ghosts[i-1] >= g {
+			return fmt.Errorf("dgraph: ghosts not sorted/unique at %d", i)
+		}
+		if dg.GhostOwner[i] != dg.Part.Owner(g) {
+			return fmt.Errorf("dgraph: ghost %d has wrong owner", g)
+		}
+	}
+	return nil
+}
+
+// GatherToRoot reconstructs the whole graph at rank 0 (as an in-memory CSR)
+// for verification; other ranks return nil. Intended for tests and small
+// graphs only.
+func (dg *DistGraph) GatherToRoot() (*graph.CSR, error) {
+	var local []arc
+	for lv := int64(0); lv < dg.LocalN; lv++ {
+		g := dg.Global(lv)
+		for _, e := range dg.Neighbors(lv) {
+			local = append(local, arc{g, e.To, e.W})
+		}
+	}
+	blocks, err := dg.Comm.Gatherv(0, encodeArcs(local))
+	if err != nil {
+		return nil, err
+	}
+	if dg.Comm.Rank() != 0 {
+		return nil, nil
+	}
+	adj := make([][]graph.Edge, dg.GlobalN)
+	for _, b := range blocks {
+		arcs, err := decodeArcs(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range arcs {
+			adj[a.from] = append(adj[a.from], graph.Edge{To: a.to, W: a.w})
+		}
+	}
+	for _, list := range adj {
+		sort.Slice(list, func(i, j int) bool { return list[i].To < list[j].To })
+	}
+	return graph.FromAdjacency(adj), nil
+}

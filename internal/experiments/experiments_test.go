@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRowf(3.14159, "x")
+	tb.Notes = append(tb.Notes, "a note")
+	txt := tb.Text()
+	if !strings.Contains(txt, "demo") || !strings.Contains(txt, "3.1416") || !strings.Contains(txt, "note: a note") {
+		t.Fatalf("text rendering:\n%s", txt)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | bb |") || !strings.Contains(md, "> a note") {
+		t.Fatalf("markdown rendering:\n%s", md)
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	ws := TestGraphs(Small)
+	if len(ws) != 8 {
+		t.Fatalf("%d workloads", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		if w.N <= 0 || len(w.Edges) == 0 || w.Name == "" || w.PaperGraph == "" {
+			t.Fatalf("bad workload %+v", w.Name)
+		}
+		if names[w.Name] {
+			t.Fatalf("duplicate workload name %s", w.Name)
+		}
+		names[w.Name] = true
+	}
+	if _, err := FindGraph(ws, "mesh-channel"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindGraph(ws, "no-such"); err == nil {
+		t.Fatal("expected error")
+	}
+	// Medium is larger than Small.
+	wm := TestGraphs(Medium)
+	if wm[0].N <= ws[0].N {
+		t.Fatal("Medium not larger than Small")
+	}
+}
+
+func TestNamedWorkloads(t *testing.T) {
+	for _, w := range []Workload{CNRLike(Small), ChannelLike(Small), FriendsterLike(Small)} {
+		if w.N == 0 || len(w.Edges) == 0 {
+			t.Fatalf("empty workload %s", w.Name)
+		}
+	}
+}
+
+func TestFig2Schedule(t *testing.T) {
+	tb := Fig2()
+	if len(tb.Rows) != 26 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	if tb.Rows[0][1] != "1e-03" || tb.Rows[12][1] != "1e-06" || tb.Rows[13][1] != "1e-03" {
+		t.Fatalf("schedule rows: %v %v %v", tb.Rows[0], tb.Rows[12], tb.Rows[13])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := sparkline(nil); s != "-" {
+		t.Fatalf("%q", s)
+	}
+	if s := sparkline([]float64{0.1, 0.2}); s != "0.100→0.200" {
+		t.Fatalf("%q", s)
+	}
+	long := sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if !strings.Contains(long, "…") {
+		t.Fatalf("%q", long)
+	}
+}
+
+// The experiment runners below are exercised on tiny custom inputs (not the
+// full Small scale) so the test suite stays fast; cmd/paperbench runs them
+// at full scale.
+
+func TestProfileRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	tb, err := Profile(Small, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 5 {
+		t.Fatalf("profile rows: %d", len(tb.Rows))
+	}
+}
+
+func TestFig3SingleCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	ws := TestGraphs(Small)
+	w, err := FindGraph(ws, "smallworld-cnr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Fig3(Small, []Workload{w}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 variants × 2 rank counts.
+	if len(tb.Rows) != 12 {
+		t.Fatalf("fig3 rows: %d", len(tb.Rows))
+	}
+}
+
+func TestTable5AndFig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	tb, points, err := Table5(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 || len(points) != 4 {
+		t.Fatalf("rows=%d points=%d", len(tb.Rows), len(points))
+	}
+	f4 := Fig4(points)
+	if len(f4.Rows) != 4 {
+		t.Fatalf("fig4 rows: %d", len(f4.Rows))
+	}
+	// SSCA#2 modularity must be very high at every scale (paper: 0.9999+).
+	for _, row := range tb.Rows {
+		if row[3] < "0.9" {
+			t.Fatalf("SSCA2 modularity row: %v", row)
+		}
+	}
+}

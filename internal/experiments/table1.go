@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"distlouvain/internal/gen"
+	"distlouvain/internal/graph"
+	"distlouvain/internal/shared"
+)
+
+// Table1 reproduces the paper's Table I: the adaptive early-termination α
+// sweep on the shared-memory multithreaded implementation, over a
+// small-world (CNR-like) and a banded (Channel-like) input. Columns per
+// input: modularity, wall time, total iterations.
+//
+// Expected shape (paper): as α rises 0→1 iterations and time fall sharply —
+// mildly on the small-world input (paper: 5.42s→2.25s, ~2.4x) and
+// dramatically on the banded input (paper: 100.82s→1.73s, ~58x) — while
+// modularity stays flat to the second decimal.
+func Table1(s Scale, threads int) *Table {
+	cnr := CNRLike(s)
+	channel := ChannelLike(s)
+	gCNR := gen.Build(cnr.N, cnr.Edges)
+	gChan := gen.Build(channel.N, channel.Edges)
+
+	t := &Table{
+		ID:     "Table I",
+		Title:  "Early-termination α sweep (shared-memory implementation)",
+		Header: []string{"alpha", "CNR Q", "CNR time", "CNR iters", "Channel Q", "Channel time", "Channel iters"},
+	}
+	alphas := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0}
+	type row struct {
+		q     float64
+		dur   time.Duration
+		iters int
+	}
+	runOne := func(g *graph.CSR, alpha float64) row {
+		start := time.Now()
+		res := shared.Run(g, shared.Options{Threads: threads, Alpha: alpha, Seed: 42})
+		return row{q: res.Modularity, dur: time.Since(start), iters: res.TotalIterations}
+	}
+	var base0, base1 row
+	var top0, top1 row
+	for _, a := range alphas {
+		r0 := runOne(gCNR, a)
+		r1 := runOne(gChan, a)
+		if a == 0 {
+			base0, base1 = r0, r1
+		}
+		if a == 1 {
+			top0, top1 = r0, r1
+		}
+		t.AddRow(
+			fmt.Sprintf("%.1f", a),
+			fmt.Sprintf("%.5f", r0.q), fmtDur(r0.dur), fmt.Sprintf("%d", r0.iters),
+			fmt.Sprintf("%.5f", r1.q), fmtDur(r1.dur), fmt.Sprintf("%d", r1.iters),
+		)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("inputs: %s as CNR, %s as Channel (scaled-down analogues)", cnr.Name, channel.Name),
+		fmt.Sprintf("measured speedup α=0→1: CNR %.2fx (paper 2.41x), Channel %.2fx (paper 58.27x)",
+			safeRatio(base0.dur, top0.dur), safeRatio(base1.dur, top1.dur)),
+		fmt.Sprintf("measured ΔQ α=0→1: CNR %+.5f (paper -0.00021), Channel %+.5f (paper -0.00055)",
+			top0.q-base0.q, top1.q-base1.q),
+		"paper ran 8 Xeon cores on 3.2M/42.7M-edge inputs; this run uses synthetic analogues on one host",
+		"expected shape: the banded input gains far more from ET than the small-world input; "+
+			"at laptop scale the CNR analogue converges in ~30 baseline iterations (paper: 63), "+
+			"leaving little for ET to save, so its measured speedup compresses toward 1x",
+	)
+	return t
+}
+
+func safeRatio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}

@@ -1,0 +1,196 @@
+// Package gen provides the synthetic workload generators used to reproduce
+// the paper's experiments at laptop scale:
+//
+//   - RMAT: power-law Kronecker graphs standing in for the social/web
+//     datasets (com-orkut, soc-friendster, twitter-2010, web-cc12, …).
+//   - BandedMesh: a banded, locally connected structure standing in for the
+//     "channel" and nlpkkt240 PDE meshes (high modularity, regular degree).
+//   - WattsStrogatz: small-world graphs standing in for CNR-like webs.
+//   - SSCA2: the DARPA HPCS SSCA#2 clique-based generator (GTgraph's model)
+//     used by the paper's weak-scaling study (Table V, Fig. 4).
+//   - LFR: Lancichinetti–Fortunato–Radicchi-style benchmark graphs with
+//     ground-truth communities for the quality study (Table VII).
+//   - PlantedPartition and ErdosRenyi as auxiliary test workloads.
+//
+// All generators are deterministic in their seed.
+package gen
+
+import (
+	"fmt"
+
+	"distlouvain/internal/graph"
+	"distlouvain/internal/par"
+)
+
+// ErdosRenyi generates G(n, m): m undirected edges drawn uniformly with
+// replacement over distinct endpoint pairs (duplicates merge at build time).
+func ErdosRenyi(n, m int64, seed uint64) (int64, []graph.RawEdge) {
+	rng := par.NewXoshiro256(seed)
+	edges := make([]graph.RawEdge, 0, m)
+	if n < 2 {
+		return n, nil
+	}
+	for i := int64(0); i < m; i++ {
+		u := rng.Int63n(n)
+		v := rng.Int63n(n)
+		for v == u {
+			v = rng.Int63n(n)
+		}
+		edges = append(edges, graph.RawEdge{U: u, V: v, W: 1})
+	}
+	return n, edges
+}
+
+// PlantedPartition generates k communities of the given size. Each
+// intra-community pair is connected with probability pIn and each
+// inter-community pair with pOut (sampled sparsely, so pOut must be small).
+// It returns the graph and the planted ground truth.
+func PlantedPartition(k int, size int64, pIn, pOut float64, seed uint64) (int64, []graph.RawEdge, []int64) {
+	n := int64(k) * size
+	rng := par.NewXoshiro256(seed)
+	truth := make([]int64, n)
+	var edges []graph.RawEdge
+	for c := 0; c < k; c++ {
+		base := int64(c) * size
+		for i := int64(0); i < size; i++ {
+			truth[base+i] = int64(c)
+		}
+		// Dense sampling within the community.
+		for i := int64(0); i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Float64() < pIn {
+					edges = append(edges, graph.RawEdge{U: base + i, V: base + j, W: 1})
+				}
+			}
+		}
+	}
+	// Sparse sampling between communities: expected count =
+	// pOut * (#inter pairs); draw that many random inter pairs.
+	interPairs := float64(n)*float64(n-1)/2 - float64(k)*float64(size)*float64(size-1)/2
+	want := int64(pOut * interPairs)
+	for i := int64(0); i < want; i++ {
+		u := rng.Int63n(n)
+		v := rng.Int63n(n)
+		for v == u || truth[v] == truth[u] {
+			v = rng.Int63n(n)
+		}
+		edges = append(edges, graph.RawEdge{U: u, V: v, W: 1})
+	}
+	return n, edges, truth
+}
+
+// RMAT generates a recursive-matrix (R-MAT) graph with 2^scale vertices and
+// edgeFactor·2^scale edges using quadrant probabilities (a, b, c, d),
+// a+b+c+d = 1. The classic social-network setting is (0.57, 0.19, 0.19,
+// 0.05); web-like graphs skew a higher.
+func RMAT(scale int, edgeFactor int64, a, b, c, d float64, seed uint64) (int64, []graph.RawEdge, error) {
+	if scale <= 0 || scale > 40 {
+		return 0, nil, fmt.Errorf("gen: RMAT scale %d out of range (0,40]", scale)
+	}
+	sum := a + b + c + d
+	if sum < 0.999 || sum > 1.001 {
+		return 0, nil, fmt.Errorf("gen: RMAT probabilities sum to %g, want 1", sum)
+	}
+	n := int64(1) << scale
+	m := edgeFactor * n
+	rng := par.NewXoshiro256(seed)
+	edges := make([]graph.RawEdge, 0, m)
+	for i := int64(0); i < m; i++ {
+		var u, v int64
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			// Add a little noise per level, as the GTgraph generator does,
+			// to avoid strict self-similarity artifacts.
+			switch {
+			case r < a:
+				// upper-left: nothing set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue // skip self loops; RMAT produces few
+		}
+		edges = append(edges, graph.RawEdge{U: u, V: v, W: 1})
+	}
+	return n, edges, nil
+}
+
+// BandedMesh generates a banded graph: vertex v connects to v+1 … v+band
+// (clipped at n). This mimics the locally connected, high-modularity
+// structure of the channel and nlpkkt240 meshes.
+func BandedMesh(n int64, band int64) (int64, []graph.RawEdge) {
+	var edges []graph.RawEdge
+	for v := int64(0); v < n; v++ {
+		for d := int64(1); d <= band && v+d < n; d++ {
+			edges = append(edges, graph.RawEdge{U: v, V: v + d, W: 1})
+		}
+	}
+	return n, edges
+}
+
+// Grid2D generates a rows×cols mesh where every vertex connects to its
+// 4-neighbourhood, plus diagonals when diag is set (8-neighbourhood).
+// Vertex (r, c) has ID r*cols + c. This is the analogue of the paper's
+// "banded" PDE meshes (channel, nlpkkt240): unlike a 1-D band, a 2-D mesh
+// makes a growing community's frontier cost grow with its perimeter, which
+// is what gives those graphs their very high modularity under Louvain.
+func Grid2D(rows, cols int64, diag bool) (int64, []graph.RawEdge) {
+	n := rows * cols
+	var edges []graph.RawEdge
+	id := func(r, c int64) int64 { return r*cols + c }
+	for r := int64(0); r < rows; r++ {
+		for c := int64(0); c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.RawEdge{U: id(r, c), V: id(r, c+1), W: 1})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.RawEdge{U: id(r, c), V: id(r+1, c), W: 1})
+			}
+			if diag && r+1 < rows {
+				if c+1 < cols {
+					edges = append(edges, graph.RawEdge{U: id(r, c), V: id(r+1, c+1), W: 1})
+				}
+				if c > 0 {
+					edges = append(edges, graph.RawEdge{U: id(r, c), V: id(r+1, c-1), W: 1})
+				}
+			}
+		}
+	}
+	return n, edges
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where each
+// vertex connects to its k nearest neighbours (k even), with each edge
+// rewired to a random endpoint with probability beta.
+func WattsStrogatz(n int64, k int64, beta float64, seed uint64) (int64, []graph.RawEdge, error) {
+	if k%2 != 0 || k <= 0 || k >= n {
+		return 0, nil, fmt.Errorf("gen: WattsStrogatz k=%d must be even and in (0,n)", k)
+	}
+	rng := par.NewXoshiro256(seed)
+	var edges []graph.RawEdge
+	for v := int64(0); v < n; v++ {
+		for d := int64(1); d <= k/2; d++ {
+			u := (v + d) % n
+			if rng.Float64() < beta {
+				// Rewire the far endpoint.
+				u = rng.Int63n(n)
+				for u == v {
+					u = rng.Int63n(n)
+				}
+			}
+			edges = append(edges, graph.RawEdge{U: v, V: u, W: 1})
+		}
+	}
+	return n, edges, nil
+}
+
+// Build is a convenience wrapper producing a CSR from generator output.
+func Build(n int64, edges []graph.RawEdge) *graph.CSR {
+	return graph.FromRawEdges(n, edges)
+}

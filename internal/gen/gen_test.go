@@ -1,0 +1,382 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distlouvain/internal/graph"
+	"distlouvain/internal/par"
+)
+
+func TestErdosRenyiShape(t *testing.T) {
+	n, edges := ErdosRenyi(100, 500, 1)
+	if n != 100 {
+		t.Fatalf("n = %d", n)
+	}
+	if len(edges) != 500 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	g := Build(n, edges)
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			t.Fatal("ER generated a self loop")
+		}
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	_, a := ErdosRenyi(50, 100, 7)
+	_, b := ErdosRenyi(50, 100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	_, c := ErdosRenyi(50, 100, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	n, edges, truth := PlantedPartition(4, 25, 0.5, 0.01, 3)
+	if n != 100 || len(truth) != 100 {
+		t.Fatalf("n=%d truth=%d", n, len(truth))
+	}
+	g := Build(n, edges)
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Most edges must be intra-community.
+	intra := 0
+	for _, e := range edges {
+		if truth[e.U] == truth[e.V] {
+			intra++
+		}
+	}
+	if float64(intra)/float64(len(edges)) < 0.8 {
+		t.Fatalf("only %d/%d edges intra-community", intra, len(edges))
+	}
+	// Each community has the right size.
+	counts := map[int64]int{}
+	for _, c := range truth {
+		counts[c]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("%d communities", len(counts))
+	}
+	for c, cnt := range counts {
+		if cnt != 25 {
+			t.Fatalf("community %d has %d members", c, cnt)
+		}
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	n, edges, err := RMAT(10, 8, 0.57, 0.19, 0.19, 0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1024 {
+		t.Fatalf("n = %d", n)
+	}
+	// Self loops are skipped, so expect close to but not exactly 8n.
+	if int64(len(edges)) > 8*n || int64(len(edges)) < 7*n {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	g := Build(n, edges)
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Power-law skew: the max degree should far exceed the mean.
+	s := graph.ComputeStats(g)
+	if float64(s.MaxDegree) < 4*s.MeanDegree {
+		t.Fatalf("RMAT not skewed: max=%d mean=%g", s.MaxDegree, s.MeanDegree)
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	if _, _, err := RMAT(0, 8, 0.25, 0.25, 0.25, 0.25, 1); err == nil {
+		t.Fatal("expected scale error")
+	}
+	if _, _, err := RMAT(5, 8, 0.9, 0.3, 0.2, 0.1, 1); err == nil {
+		t.Fatal("expected probability-sum error")
+	}
+}
+
+func TestBandedMesh(t *testing.T) {
+	n, edges := BandedMesh(50, 3)
+	g := Build(n, edges)
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Interior vertices have degree 2*band.
+	if d := g.Degree(25); d != 6 {
+		t.Fatalf("interior degree = %d", d)
+	}
+	// Boundary vertices have lower degree.
+	if d := g.Degree(0); d != 3 {
+		t.Fatalf("boundary degree = %d", d)
+	}
+	// All edges are short-range.
+	for _, e := range edges {
+		if e.V-e.U > 3 || e.V-e.U < 1 {
+			t.Fatalf("band violated: %+v", e)
+		}
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	n, edges, err := WattsStrogatz(200, 6, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(n, edges)
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Total edge count is exactly n*k/2 before dedup.
+	if int64(len(edges)) != 200*3 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	if _, _, err := WattsStrogatz(10, 3, 0.1, 1); err == nil {
+		t.Fatal("expected odd-k error")
+	}
+	if _, _, err := WattsStrogatz(10, 10, 0.1, 1); err == nil {
+		t.Fatal("expected k>=n error")
+	}
+}
+
+func TestSSCA2(t *testing.T) {
+	n, edges, truth, err := SSCA2(SSCA2Options{N: 500, MaxCliqueSize: 10, InterProb: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 || len(truth) != 500 {
+		t.Fatalf("n=%d", n)
+	}
+	g := Build(n, edges)
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Cliques are contiguous ID ranges: member of clique c are consecutive.
+	for v := int64(1); v < n; v++ {
+		if truth[v] < truth[v-1] {
+			t.Fatal("clique IDs not monotone over vertex range")
+		}
+		if truth[v]-truth[v-1] > 1 {
+			t.Fatal("clique IDs skip")
+		}
+	}
+	// Intra-clique pairs are fully connected: check one mid-size clique.
+	var lo, hi int64
+	for v := int64(1); v < n; v++ {
+		if truth[v] == 3 && truth[v-1] == 2 {
+			lo = v
+		}
+		if truth[v] == 4 && truth[v-1] == 3 {
+			hi = v
+		}
+	}
+	if hi > lo+1 {
+		adj := map[int64]bool{}
+		for _, e := range g.Neighbors(lo) {
+			adj[e.To] = true
+		}
+		for u := lo + 1; u < hi; u++ {
+			if !adj[u] {
+				t.Fatalf("clique member %d not adjacent to %d", u, lo)
+			}
+		}
+	}
+}
+
+func TestSSCA2Validation(t *testing.T) {
+	if _, _, _, err := SSCA2(SSCA2Options{N: 0, MaxCliqueSize: 5}); err == nil {
+		t.Fatal("expected N error")
+	}
+	if _, _, _, err := SSCA2(SSCA2Options{N: 10, MaxCliqueSize: 0}); err == nil {
+		t.Fatal("expected clique-size error")
+	}
+	if _, _, _, err := SSCA2(SSCA2Options{N: 10, MaxCliqueSize: 3, InterProb: 2}); err == nil {
+		t.Fatal("expected probability error")
+	}
+}
+
+func TestSSCA2ForScale(t *testing.T) {
+	opt := SSCA2ForScale(4, 1000, 9)
+	if opt.N != 4000 {
+		t.Fatalf("N = %d", opt.N)
+	}
+	n, edges, _, err := SSCA2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4000 || len(edges) == 0 {
+		t.Fatalf("n=%d edges=%d", n, len(edges))
+	}
+}
+
+func TestLFRBasic(t *testing.T) {
+	opt := DefaultLFR(2000, 0.2, 13)
+	n, edges, truth, err := LFR(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2000 || len(truth) != 2000 {
+		t.Fatalf("n = %d", n)
+	}
+	g := Build(n, edges)
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Mixing: the realized inter-community edge fraction should be near μ.
+	inter := 0
+	for _, e := range edges {
+		if truth[e.U] != truth[e.V] {
+			inter++
+		}
+	}
+	frac := float64(inter) / float64(len(edges))
+	if frac < 0.08 || frac > 0.35 {
+		t.Fatalf("inter fraction %.3f too far from mu=0.2", frac)
+	}
+	// Community sizes within bounds (the last may absorb a remainder).
+	sizes := map[int64]int64{}
+	for _, c := range truth {
+		sizes[c]++
+	}
+	for c, s := range sizes {
+		if s < opt.MinComm || s > opt.MaxComm+opt.MinComm {
+			t.Fatalf("community %d size %d outside [%d,%d]", c, s, opt.MinComm, opt.MaxComm)
+		}
+	}
+	// Degrees bounded above.
+	st := graph.ComputeStats(g)
+	if st.MaxDegree > 2*opt.MaxDegree {
+		t.Fatalf("max degree %d exceeds cap", st.MaxDegree)
+	}
+}
+
+func TestLFRValidation(t *testing.T) {
+	bad := DefaultLFR(100, 0.1, 1)
+	bad.MaxComm = 1000
+	if _, _, _, err := LFR(bad); err == nil {
+		t.Fatal("expected MaxComm > N error")
+	}
+	bad = DefaultLFR(100, -0.5, 1)
+	bad.MaxComm = 50
+	if _, _, _, err := LFR(bad); err == nil {
+		t.Fatal("expected Mu error")
+	}
+	bad = DefaultLFR(0, 0.1, 1)
+	if _, _, _, err := LFR(bad); err == nil {
+		t.Fatal("expected N error")
+	}
+}
+
+func TestLFRDeterministic(t *testing.T) {
+	opt := DefaultLFR(500, 0.3, 99)
+	opt.MaxComm = 100
+	_, e1, t1, err := LFR(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e2, t2, err := LFR(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1) != len(e2) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("edges differ")
+		}
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("truth differs")
+		}
+	}
+}
+
+func TestPowerLawBounds(t *testing.T) {
+	f := func(seed uint64, loRaw, hiRaw uint8, exp float64) bool {
+		lo := int64(loRaw%20) + 1
+		hi := lo + int64(hiRaw%50)
+		e := 1 + (exp-float64(int(exp)))*2 // keep exponent in a sane band
+		if e < 0.5 || e != e {
+			e = 2
+		}
+		rng := newTestRng(seed)
+		for i := 0; i < 50; i++ {
+			v := powerLaw(rng, lo, hi, e)
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	// With exponent 2.5 the mass should concentrate near the lower cutoff.
+	rng := newTestRng(5)
+	low := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if powerLaw(rng, 1, 100, 2.5) <= 3 {
+			low++
+		}
+	}
+	if float64(low)/n < 0.6 {
+		t.Fatalf("only %d/%d draws in [1,3] for exponent 2.5", low, n)
+	}
+}
+
+// newTestRng gives tests access to the same RNG type the generators use.
+func newTestRng(seed uint64) *par.Xoshiro256 { return par.NewXoshiro256(seed) }
+
+func TestGrid2D(t *testing.T) {
+	n, edges := Grid2D(10, 8, false)
+	if n != 80 {
+		t.Fatalf("n = %d", n)
+	}
+	g := Build(n, edges)
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// 4-neighbourhood: interior degree 4, corner degree 2.
+	if d := g.Degree(0); d != 2 {
+		t.Fatalf("corner degree = %d", d)
+	}
+	if d := g.Degree(int64(3*8 + 4)); d != 4 {
+		t.Fatalf("interior degree = %d", d)
+	}
+	// Edge count: horizontal 10*7 + vertical 9*8 = 142.
+	if len(edges) != 142 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	// With diagonals: interior degree 8.
+	n, edges = Grid2D(10, 8, true)
+	g = Build(n, edges)
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Degree(int64(3*8 + 4)); d != 8 {
+		t.Fatalf("diag interior degree = %d", d)
+	}
+}

@@ -1,0 +1,234 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"distlouvain/internal/graph"
+	"distlouvain/internal/par"
+)
+
+// LFROptions configures the LFR-style benchmark generator (Lancichinetti,
+// Fortunato, Radicchi 2008), the benchmark family the paper's Table VII
+// quality study uses. Degrees and community sizes follow truncated power
+// laws; the mixing parameter Mu sets the fraction of each vertex's edges
+// that leave its community.
+type LFROptions struct {
+	N         int64   // number of vertices
+	MinDegree int64   // minimum degree (power-law lower cutoff)
+	MaxDegree int64   // maximum degree (power-law upper cutoff)
+	DegreeExp float64 // degree power-law exponent τ1 (typically 2–3)
+	CommExp   float64 // community-size exponent τ2 (typically 1–2)
+	MinComm   int64   // smallest community size
+	MaxComm   int64   // largest community size
+	Mu        float64 // mixing parameter: fraction of inter-community stubs
+	Seed      uint64
+}
+
+// DefaultLFR returns the parameterization used by the quality experiments:
+// τ1=2, τ2=1, μ as given, degree range scaled to yield the paper's density
+// (≈100 edges/vertex at Table VII scale is reduced proportionally here).
+func DefaultLFR(n int64, mu float64, seed uint64) LFROptions {
+	return LFROptions{
+		N:         n,
+		MinDegree: 8,
+		MaxDegree: 60,
+		DegreeExp: 2.0,
+		CommExp:   1.0,
+		MinComm:   20,
+		MaxComm:   200,
+		Mu:        mu,
+		Seed:      seed,
+	}
+}
+
+func (o LFROptions) validate() error {
+	if o.N <= 0 {
+		return fmt.Errorf("gen: LFR N=%d must be positive", o.N)
+	}
+	if o.MinDegree <= 0 || o.MaxDegree < o.MinDegree {
+		return fmt.Errorf("gen: LFR degree range [%d,%d] invalid", o.MinDegree, o.MaxDegree)
+	}
+	if o.MinComm <= 1 || o.MaxComm < o.MinComm {
+		return fmt.Errorf("gen: LFR community range [%d,%d] invalid", o.MinComm, o.MaxComm)
+	}
+	if o.MaxComm > o.N {
+		return fmt.Errorf("gen: LFR MaxComm=%d exceeds N=%d", o.MaxComm, o.N)
+	}
+	if o.Mu < 0 || o.Mu > 1 {
+		return fmt.Errorf("gen: LFR Mu=%g out of [0,1]", o.Mu)
+	}
+	return nil
+}
+
+// powerLaw draws an integer in [lo, hi] from a power law with the given
+// exponent via inverse-CDF sampling of the continuous relaxation.
+func powerLaw(rng *par.Xoshiro256, lo, hi int64, exp float64) int64 {
+	if lo >= hi {
+		return lo
+	}
+	u := rng.Float64()
+	if math.Abs(exp-1) < 1e-9 {
+		// x ∝ 1/x: inverse CDF is exponential interpolation.
+		v := float64(lo) * math.Pow(float64(hi)/float64(lo), u)
+		return clamp64(int64(v), lo, hi)
+	}
+	a := 1 - exp
+	xa := math.Pow(float64(lo), a)
+	xb := math.Pow(float64(hi)+1, a)
+	v := math.Pow(xa+u*(xb-xa), 1/a)
+	return clamp64(int64(v), lo, hi)
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// LFR generates the benchmark graph and returns (n, edges, groundTruth).
+// The construction follows the LFR recipe: power-law community sizes
+// covering all vertices, power-law degrees, a (1−μ) fraction of each
+// vertex's stubs matched inside its community via a configuration-model
+// pairing and the remaining μ fraction matched globally across communities.
+// Unmatched leftover stubs (odd counts, rejected self/duplicate pairs) are
+// dropped, which perturbs realized degrees by a vanishing fraction.
+func LFR(opt LFROptions) (int64, []graph.RawEdge, []int64, error) {
+	if err := opt.validate(); err != nil {
+		return 0, nil, nil, err
+	}
+	rng := par.NewXoshiro256(opt.Seed)
+
+	// 1. Community sizes covering exactly N vertices.
+	var sizes []int64
+	var covered int64
+	for covered < opt.N {
+		s := powerLaw(rng, opt.MinComm, opt.MaxComm, opt.CommExp)
+		if covered+s > opt.N {
+			s = opt.N - covered
+			// A tiny trailing community is merged into the previous one
+			// to respect MinComm when possible.
+			if s < opt.MinComm && len(sizes) > 0 {
+				sizes[len(sizes)-1] += s
+				covered = opt.N
+				break
+			}
+		}
+		sizes = append(sizes, s)
+		covered += s
+	}
+
+	// 2. Assign vertices to communities through a random permutation so
+	// that community membership is uncorrelated with vertex ID — matching
+	// the paper's "arbitrarily partitioned" input assumption.
+	perm := make([]int64, opt.N)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	for i := opt.N - 1; i > 0; i-- {
+		j := rng.Int63n(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	truth := make([]int64, opt.N)
+	members := make([][]int64, len(sizes))
+	idx := int64(0)
+	for c, s := range sizes {
+		members[c] = perm[idx : idx+s]
+		for _, v := range members[c] {
+			truth[v] = int64(c)
+		}
+		idx += s
+	}
+
+	// 3. Degrees and the intra/inter split.
+	intraDeg := make([]int64, opt.N)
+	interDeg := make([]int64, opt.N)
+	for v := int64(0); v < opt.N; v++ {
+		d := powerLaw(rng, opt.MinDegree, opt.MaxDegree, opt.DegreeExp)
+		din := int64(math.Round((1 - opt.Mu) * float64(d)))
+		commSize := sizes[truth[v]]
+		if din > commSize-1 {
+			din = commSize - 1
+		}
+		if din < 0 {
+			din = 0
+		}
+		intraDeg[v] = din
+		interDeg[v] = d - din
+		if interDeg[v] < 0 {
+			interDeg[v] = 0
+		}
+	}
+
+	var edges []graph.RawEdge
+	type pair struct{ a, b int64 }
+	seen := make(map[pair]struct{})
+	addEdge := func(u, v int64) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if _, dup := seen[pair{u, v}]; dup {
+			return false
+		}
+		seen[pair{u, v}] = struct{}{}
+		edges = append(edges, graph.RawEdge{U: u, V: v, W: 1})
+		return true
+	}
+
+	// 4. Intra-community configuration-model pairing.
+	var stubs []int64
+	for c := range members {
+		stubs = stubs[:0]
+		for _, v := range members[c] {
+			for i := int64(0); i < intraDeg[v]; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		shuffle(rng, stubs)
+		for i := 0; i+1 < len(stubs); i += 2 {
+			addEdge(stubs[i], stubs[i+1])
+		}
+	}
+
+	// 5. Inter-community pairing from the global stub pool; pairs landing
+	// in the same community are retried against a rotating partner.
+	var pool []int64
+	for v := int64(0); v < opt.N; v++ {
+		for i := int64(0); i < interDeg[v]; i++ {
+			pool = append(pool, v)
+		}
+	}
+	shuffle(rng, pool)
+	for i := 0; i+1 < len(pool); i += 2 {
+		u, v := pool[i], pool[i+1]
+		if truth[u] == truth[v] {
+			// Swap v with a stub further down whose community differs.
+			for j := i + 2; j < len(pool); j++ {
+				if truth[pool[j]] != truth[u] {
+					pool[i+1], pool[j] = pool[j], pool[i+1]
+					v = pool[i+1]
+					break
+				}
+			}
+			if truth[u] == truth[v] {
+				continue // tail of the pool is single-community; drop
+			}
+		}
+		addEdge(u, v)
+	}
+	return opt.N, edges, truth, nil
+}
+
+func shuffle(rng *par.Xoshiro256, s []int64) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

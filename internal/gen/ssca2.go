@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"fmt"
+
+	"distlouvain/internal/graph"
+	"distlouvain/internal/par"
+)
+
+// SSCA2Options configures the SSCA#2 generator (the DARPA HPCS graph
+// analysis benchmark model implemented by GTgraph, which the paper uses for
+// weak scaling). The graph is a union of random-sized cliques with sparse
+// inter-clique edges.
+type SSCA2Options struct {
+	N             int64   // total vertices
+	MaxCliqueSize int64   // cliques are uniform in [1, MaxCliqueSize]
+	InterProb     float64 // probability scale of inter-clique edges per vertex
+	Seed          uint64
+}
+
+// SSCA2 generates the graph and returns its edges plus the clique membership
+// (a natural ground truth: with low InterProb, Louvain should recover the
+// cliques almost exactly, which is why the paper's Table V modularities are
+// ≈0.9999).
+func SSCA2(opt SSCA2Options) (int64, []graph.RawEdge, []int64, error) {
+	if opt.N <= 0 {
+		return 0, nil, nil, fmt.Errorf("gen: SSCA2 N=%d must be positive", opt.N)
+	}
+	if opt.MaxCliqueSize <= 0 {
+		return 0, nil, nil, fmt.Errorf("gen: SSCA2 MaxCliqueSize=%d must be positive", opt.MaxCliqueSize)
+	}
+	if opt.InterProb < 0 || opt.InterProb > 1 {
+		return 0, nil, nil, fmt.Errorf("gen: SSCA2 InterProb=%g out of [0,1]", opt.InterProb)
+	}
+	rng := par.NewXoshiro256(opt.Seed)
+	truth := make([]int64, opt.N)
+	var edges []graph.RawEdge
+
+	// Carve [0, N) into consecutive cliques of random size.
+	var cliqueID int64
+	var starts []int64
+	for base := int64(0); base < opt.N; {
+		size := rng.Int63n(opt.MaxCliqueSize) + 1
+		if base+size > opt.N {
+			size = opt.N - base
+		}
+		starts = append(starts, base)
+		for i := int64(0); i < size; i++ {
+			truth[base+i] = cliqueID
+		}
+		// Fully connect the clique.
+		for i := int64(0); i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				edges = append(edges, graph.RawEdge{U: base + i, V: base + j, W: 1})
+			}
+		}
+		base += size
+		cliqueID++
+	}
+	starts = append(starts, opt.N)
+
+	// Sparse inter-clique edges: each vertex links to a vertex of another
+	// clique with probability InterProb.
+	if cliqueID > 1 {
+		for v := int64(0); v < opt.N; v++ {
+			if rng.Float64() >= opt.InterProb {
+				continue
+			}
+			u := rng.Int63n(opt.N)
+			for truth[u] == truth[v] {
+				u = rng.Int63n(opt.N)
+			}
+			edges = append(edges, graph.RawEdge{U: v, V: u, W: 1})
+		}
+	}
+	return opt.N, edges, truth, nil
+}
+
+// SSCA2ForScale returns an SSCA#2 configuration whose expected work is
+// proportional to units, used by the weak-scaling harness: vertices scale
+// linearly with units while clique size and inter-clique probability stay
+// fixed, matching the paper's Table V setup (max clique 100 at full scale,
+// "deliberately low" inter-clique probability).
+func SSCA2ForScale(units int64, verticesPerUnit int64, seed uint64) SSCA2Options {
+	return SSCA2Options{
+		N:             units * verticesPerUnit,
+		MaxCliqueSize: 24,
+		InterProb:     0.02,
+		Seed:          seed,
+	}
+}

@@ -1,0 +1,154 @@
+package gio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distlouvain/internal/graph"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.metis")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadMETISTriangle(t *testing.T) {
+	// Unweighted triangle in canonical METIS form.
+	path := writeTemp(t, "% a comment\n3 3\n2 3\n1 3\n1 2\n")
+	n, edges, err := ReadMETIS(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(edges) != 3 {
+		t.Fatalf("n=%d edges=%v", n, edges)
+	}
+	g := graph.FromRawEdges(n, edges)
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 3; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestReadMETISEdgeWeights(t *testing.T) {
+	// fmt=001: neighbours carry weights.
+	path := writeTemp(t, "2 1 001\n2 7.5\n1 7.5\n")
+	n, edges, err := ReadMETIS(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(edges) != 1 || edges[0].W != 7.5 {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestReadMETISVertexWeights(t *testing.T) {
+	// fmt=011 with ncon=2: two vertex weights per line, then weighted
+	// neighbours. Vertex weights are discarded.
+	path := writeTemp(t, "2 1 011 2\n5 9 2 1.5\n4 8 1 1.5\n")
+	n, edges, err := ReadMETIS(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(edges) != 1 || edges[0].W != 1.5 {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestReadMETISErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"short header":     "5\n",
+		"bad n":            "x 3\n",
+		"bad m":            "3 y\n",
+		"missing line":     "2 1\n2\n",
+		"neighbour range":  "2 1\n3\n1\n",
+		"bad neighbour":    "2 1\nzz\n1\n",
+		"edge count wrong": "3 5\n2 3\n1 3\n1 2\n",
+		"missing weight":   "2 1 001\n2\n1 1\n",
+		"bad fmt":          "2 1 abc\n2\n1\n",
+	}
+	for name, content := range cases {
+		path := writeTemp(t, content)
+		if _, _, err := ReadMETIS(path); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMETISRoundTrip(t *testing.T) {
+	n := int64(5)
+	edges := []graph.RawEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 0.5},
+		{U: 3, V: 4, W: 1}, {U: 0, V: 4, W: 3},
+	}
+	path := filepath.Join(t.TempDir(), "rt.metis")
+	if err := WriteMETIS(path, n, edges); err != nil {
+		t.Fatal(err)
+	}
+	n2, edges2, err := ReadMETIS(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n || len(edges2) != len(edges) {
+		t.Fatalf("round trip: n=%d edges=%d", n2, len(edges2))
+	}
+	a := graph.FromRawEdges(n, edges)
+	b := graph.FromRawEdges(n2, edges2)
+	if a.TotalWeight() != b.TotalWeight() {
+		t.Fatalf("m2 %g != %g", a.TotalWeight(), b.TotalWeight())
+	}
+	for v := int64(0); v < n; v++ {
+		an, bn := a.Neighbors(v), b.Neighbors(v)
+		if len(an) != len(bn) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatalf("neighbour mismatch at %d", v)
+			}
+		}
+	}
+}
+
+func TestWriteMETISRejectsBadEdges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.metis")
+	if err := WriteMETIS(path, 2, []graph.RawEdge{{U: 0, V: 5, W: 1}}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+// FuzzReadMETIS hardens the parser against arbitrary input.
+func FuzzReadMETIS(f *testing.F) {
+	f.Add([]byte("3 3\n2 3\n1 3\n1 2\n"))
+	f.Add([]byte("2 1 001\n2 7.5\n1 7.5\n"))
+	f.Add([]byte("% c\n1 0\n\n"))
+	f.Add([]byte("0 0\n"))
+	dir := f.TempDir()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(dir, "fuzz.metis")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		n, edges, err := ReadMETIS(path)
+		if err != nil {
+			return
+		}
+		if n < 0 {
+			t.Fatal("negative n")
+		}
+		for _, e := range edges {
+			if e.U < 0 || e.V < 0 || e.U >= n || e.V >= n {
+				t.Fatalf("edge %+v outside [0,%d)", e, n)
+			}
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats summarizes a graph's shape; graphinfo and the experiment harness
+// print these for every workload so runs are self-describing.
+type Stats struct {
+	Vertices      int64
+	Arcs          int64   // stored directed slots
+	UndirEdges    int64   // undirected edge estimate: (arcs - selfLoops)/2 + selfLoops
+	SelfLoops     int64   // number of self-loop slots
+	TotalWeight   float64 // m2
+	MinDegree     int64
+	MaxDegree     int64
+	MeanDegree    float64
+	MedianDegree  int64
+	Isolated      int64 // vertices with no slots
+	WeightedM     float64
+	DegreeStdDev  float64
+	MaxEdgeWeight float64
+}
+
+// ComputeStats scans g once and returns its summary.
+func ComputeStats(g *CSR) Stats {
+	s := Stats{Vertices: g.N, Arcs: g.NumArcs(), MinDegree: math.MaxInt64}
+	if g.N == 0 {
+		s.MinDegree = 0
+		return s
+	}
+	degrees := make([]int64, g.N)
+	var sumDeg, sumDegSq float64
+	for v := int64(0); v < g.N; v++ {
+		d := g.Degree(v)
+		degrees[v] = d
+		sumDeg += float64(d)
+		sumDegSq += float64(d) * float64(d)
+		if d == 0 {
+			s.Isolated++
+		}
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	for v := int64(0); v < g.N; v++ {
+		for _, e := range g.Neighbors(v) {
+			s.TotalWeight += e.W
+			if e.To == v {
+				s.SelfLoops++
+			}
+			if e.W > s.MaxEdgeWeight {
+				s.MaxEdgeWeight = e.W
+			}
+		}
+	}
+	s.UndirEdges = (s.Arcs-s.SelfLoops)/2 + s.SelfLoops
+	s.MeanDegree = sumDeg / float64(g.N)
+	s.WeightedM = s.TotalWeight / 2
+	variance := sumDegSq/float64(g.N) - s.MeanDegree*s.MeanDegree
+	if variance > 0 {
+		s.DegreeStdDev = math.Sqrt(variance)
+	}
+	sort.Slice(degrees, func(i, j int) bool { return degrees[i] < degrees[j] })
+	s.MedianDegree = degrees[g.N/2]
+	return s
+}
+
+// String renders the stats in the one-line form used by the CLI tools.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d arcs=%d m=%.1f deg[min/med/mean/max]=%d/%d/%.2f/%d isolated=%d selfloops=%d",
+		s.Vertices, s.UndirEdges, s.Arcs, s.WeightedM,
+		s.MinDegree, s.MedianDegree, s.MeanDegree, s.MaxDegree, s.Isolated, s.SelfLoops)
+}
+
+// DegreeHistogram returns log2-bucketed degree counts: bucket i counts
+// vertices with degree in [2^i, 2^(i+1)), bucket 0 also counting degree 0
+// and 1 split as two leading buckets [0] and [1].
+func DegreeHistogram(g *CSR) []int64 {
+	var buckets []int64
+	bump := func(i int) {
+		for len(buckets) <= i {
+			buckets = append(buckets, 0)
+		}
+		buckets[i]++
+	}
+	for v := int64(0); v < g.N; v++ {
+		d := g.Degree(v)
+		switch {
+		case d == 0:
+			bump(0)
+		case d == 1:
+			bump(1)
+		default:
+			b := 2
+			for x := d; x > 1; x >>= 1 {
+				b++
+			}
+			bump(b - 1)
+		}
+	}
+	return buckets
+}

@@ -1,0 +1,88 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Ablation: collective costs versus world size (DESIGN.md §6). The
+// binomial-tree/dissemination implementations should grow ~log p per rank;
+// the Alltoall fan-out grows linearly in p.
+func BenchmarkAblation_Collectives(b *testing.B) {
+	for _, p := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("allreduce/p=%d", p), func(b *testing.B) {
+			vec := make([]float64, 64)
+			for i := 0; i < b.N; i++ {
+				err := Run(p, func(c *Comm) error {
+					_, err := c.AllreduceFloat64s(vec, OpSum)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("alltoall/p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := Run(p, func(c *Comm) error {
+					send := make([][]byte, p)
+					for q := range send {
+						send[q] = make([]byte, 512)
+					}
+					_, err := c.Alltoall(send)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBarrier tracks the dissemination barrier.
+func BenchmarkBarrier(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := Run(p, func(c *Comm) error { return c.Barrier() }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSendRecvThroughput tracks point-to-point payload throughput
+// through the in-process transport (including the enforced deep copy).
+func BenchmarkSendRecvThroughput(b *testing.B) {
+	payload := make([]byte, 1<<16)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		err := Run(2, func(c *Comm) error {
+			if c.Rank() == 0 {
+				return c.Send(1, 0, payload)
+			}
+			_, err := c.Recv(0, 0)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodec tracks the int64 vector codec.
+func BenchmarkCodec(b *testing.B) {
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(i) * 31
+	}
+	b.SetBytes(int64(8 * len(vals)))
+	for i := 0; i < b.N; i++ {
+		buf := EncodeInt64s(vals)
+		if _, err := DecodeInt64s(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

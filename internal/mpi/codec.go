@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The codec helpers serialize the numeric slices the Louvain protocol
+// exchanges. Everything is little-endian and fixed-width, like the binary
+// graph format, so a TCP world can mix machines without byte-order trouble.
+
+// AppendUint64 appends v to buf.
+func AppendUint64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+// AppendInt64 appends v to buf.
+func AppendInt64(buf []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(v))
+}
+
+// AppendFloat64 appends v to buf.
+func AppendFloat64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+// AppendInt64s appends a bare (no length prefix) int64 vector to buf.
+func AppendInt64s(buf []byte, vs []int64) []byte {
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+// AppendFloat64s appends a bare float64 vector to buf.
+func AppendFloat64s(buf []byte, vs []float64) []byte {
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// Decoder reads fixed-width values from a byte slice produced by the Append
+// helpers.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder wraps buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining reports the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) need(n int) error {
+	if d.off+n > len(d.buf) {
+		return fmt.Errorf("mpi: decode past end of %d-byte buffer (offset %d, need %d)", len(d.buf), d.off, n)
+	}
+	return nil
+}
+
+// Uint64 decodes the next value.
+func (d *Decoder) Uint64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// Int64 decodes the next value.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Float64 decodes the next value.
+func (d *Decoder) Float64() (float64, error) {
+	v, err := d.Uint64()
+	return math.Float64frombits(v), err
+}
+
+// Int64s decodes n values.
+func (d *Decoder) Int64s(n int) ([]int64, error) {
+	if err := d.need(8 * n); err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(d.buf[d.off:]))
+		d.off += 8
+	}
+	return out, nil
+}
+
+// Float64s decodes n values.
+func (d *Decoder) Float64s(n int) ([]float64, error) {
+	if err := d.need(8 * n); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+		d.off += 8
+	}
+	return out, nil
+}
+
+// EncodeInt64s serializes vs into a fresh buffer.
+func EncodeInt64s(vs []int64) []byte {
+	return AppendInt64s(make([]byte, 0, 8*len(vs)), vs)
+}
+
+// DecodeInt64s deserializes a buffer holding only int64s.
+func DecodeInt64s(buf []byte) ([]int64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("mpi: int64 buffer length %d not a multiple of 8", len(buf))
+	}
+	return NewDecoder(buf).Int64s(len(buf) / 8)
+}
+
+// EncodeFloat64s serializes vs into a fresh buffer.
+func EncodeFloat64s(vs []float64) []byte {
+	return AppendFloat64s(make([]byte, 0, 8*len(vs)), vs)
+}
+
+// DecodeFloat64s deserializes a buffer holding only float64s.
+func DecodeFloat64s(buf []byte) ([]float64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float64 buffer length %d not a multiple of 8", len(buf))
+	}
+	return NewDecoder(buf).Float64s(len(buf) / 8)
+}

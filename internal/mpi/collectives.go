@@ -1,0 +1,412 @@
+package mpi
+
+import "fmt"
+
+// Op selects the combining operator of a reduction.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+func combineFloat64(op Op, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	default: // OpMax
+		if b > a {
+			return b
+		}
+		return a
+	}
+}
+
+func combineInt64(op Op, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	default: // OpMax
+		if b > a {
+			return b
+		}
+		return a
+	}
+}
+
+// Barrier blocks until every rank has entered it. It uses the dissemination
+// algorithm: ceil(log2 p) rounds of one send and one receive each.
+func (c *Comm) Barrier() error {
+	tag := c.collTag()
+	for k := 1; k < c.size; k <<= 1 {
+		to := (c.rank + k) % c.size
+		from := (c.rank - k%c.size + c.size) % c.size
+		if err := c.collSend(to, tag, nil); err != nil {
+			return err
+		}
+		if _, err := c.collRecv(from, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's buffer to all ranks along a binomial tree and
+// returns it. Non-root ranks pass nil (or anything; it is ignored).
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if err := checkPeer(root, c.size, "Bcast"); err != nil {
+		return nil, err
+	}
+	tag := c.collTag()
+	return c.bcast(root, tag, data)
+}
+
+func (c *Comm) bcast(root, tag int, data []byte) ([]byte, error) {
+	vr := (c.rank - root + c.size) % c.size
+	mask := 1
+	for mask < c.size {
+		if vr&mask != 0 {
+			src := (c.rank - mask + c.size) % c.size
+			msg, err := c.collRecv(src, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = msg.Data
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < c.size {
+			dst := (c.rank + mask) % c.size
+			if err := c.collSend(dst, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// reduceBytes runs a binomial-tree reduction of fixed-size vectors to root.
+// combine folds the incoming child buffer into acc in place.
+func (c *Comm) reduceBytes(root, tag int, acc []byte, combine func(acc, in []byte) error) ([]byte, error) {
+	vr := (c.rank - root + c.size) % c.size
+	mask := 1
+	for mask < c.size {
+		if vr&mask == 0 {
+			srcVR := vr | mask
+			if srcVR < c.size {
+				src := (srcVR + root) % c.size
+				msg, err := c.collRecv(src, tag)
+				if err != nil {
+					return nil, err
+				}
+				if err := combine(acc, msg.Data); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			dst := ((vr &^ mask) + root) % c.size
+			if err := c.collSend(dst, tag, acc); err != nil {
+				return nil, err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	return acc, nil
+}
+
+// AllreduceFloat64s reduces vs element-wise across all ranks and returns the
+// combined vector at every rank. All ranks must pass vectors of equal
+// length. The input is not modified.
+func (c *Comm) AllreduceFloat64s(vs []float64, op Op) ([]float64, error) {
+	tag := c.collTag()
+	acc := EncodeFloat64s(vs)
+	combine := func(acc, in []byte) error {
+		inVals, err := DecodeFloat64s(in)
+		if err != nil {
+			return err
+		}
+		return foldFloat64s(acc, inVals, op)
+	}
+	acc, err := c.reduceBytes(0, tag, acc, combine)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.bcast(0, tag, acc)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFloat64s(out)
+}
+
+func foldFloat64s(acc []byte, in []float64, op Op) error {
+	cur, err := DecodeFloat64s(acc)
+	if err != nil {
+		return err
+	}
+	if len(cur) != len(in) {
+		return errLenMismatch("AllreduceFloat64s", len(cur), len(in))
+	}
+	for i := range cur {
+		cur[i] = combineFloat64(op, cur[i], in[i])
+	}
+	copy(acc, EncodeFloat64s(cur))
+	return nil
+}
+
+// AllreduceInt64s is AllreduceFloat64s for int64 vectors.
+func (c *Comm) AllreduceInt64s(vs []int64, op Op) ([]int64, error) {
+	tag := c.collTag()
+	acc := EncodeInt64s(vs)
+	combine := func(acc, in []byte) error {
+		inVals, err := DecodeInt64s(in)
+		if err != nil {
+			return err
+		}
+		cur, err := DecodeInt64s(acc)
+		if err != nil {
+			return err
+		}
+		if len(cur) != len(inVals) {
+			return errLenMismatch("AllreduceInt64s", len(cur), len(inVals))
+		}
+		for i := range cur {
+			cur[i] = combineInt64(op, cur[i], inVals[i])
+		}
+		copy(acc, EncodeInt64s(cur))
+		return nil
+	}
+	acc, err := c.reduceBytes(0, tag, acc, combine)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.bcast(0, tag, acc)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeInt64s(out)
+}
+
+// AllreduceFloat64 reduces one scalar.
+func (c *Comm) AllreduceFloat64(v float64, op Op) (float64, error) {
+	out, err := c.AllreduceFloat64s([]float64{v}, op)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// AllreduceInt64 reduces one scalar.
+func (c *Comm) AllreduceInt64(v int64, op Op) (int64, error) {
+	out, err := c.AllreduceInt64s([]int64{v}, op)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// ExscanInt64 returns the exclusive prefix sum of v over ranks: rank r
+// receives v_0+…+v_{r-1}; rank 0 receives 0. This is the parallel prefix the
+// coarsening step uses to renumber communities globally (Fig. 1, step 3).
+func (c *Comm) ExscanInt64(v int64) (int64, error) {
+	tag := c.collTag()
+	acc := v
+	var result int64
+	for k := 1; k < c.size; k <<= 1 {
+		if c.rank+k < c.size {
+			if err := c.collSend(c.rank+k, tag, EncodeInt64s([]int64{acc})); err != nil {
+				return 0, err
+			}
+		}
+		if c.rank >= k {
+			msg, err := c.collRecv(c.rank-k, tag)
+			if err != nil {
+				return 0, err
+			}
+			vals, err := DecodeInt64s(msg.Data)
+			if err != nil {
+				return 0, err
+			}
+			result += vals[0]
+			acc += vals[0]
+		}
+	}
+	return result, nil
+}
+
+// AllgatherInt64 collects one int64 from each rank into a vector indexed by
+// rank, available at every rank.
+func (c *Comm) AllgatherInt64(v int64) ([]int64, error) {
+	blocks, err := c.Allgather(EncodeInt64s([]int64{v}))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, c.size)
+	for r, b := range blocks {
+		vals, err := DecodeInt64s(b)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = vals[0]
+	}
+	return out, nil
+}
+
+// Allgather collects each rank's buffer at every rank, indexed by rank.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	tag := c.collTag()
+	out := make([][]byte, c.size)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	out[c.rank] = cp
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		if err := c.collSend(r, tag, data); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < c.size-1; i++ {
+		msg, err := c.collRecv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[msg.From] = msg.Data
+	}
+	return out, nil
+}
+
+// Gatherv collects every rank's buffer at root. Root receives a per-rank
+// slice; other ranks receive nil.
+func (c *Comm) Gatherv(root int, data []byte) ([][]byte, error) {
+	if err := checkPeer(root, c.size, "Gatherv"); err != nil {
+		return nil, err
+	}
+	tag := c.collTag()
+	if c.rank != root {
+		return nil, c.collSend(root, tag, data)
+	}
+	out := make([][]byte, c.size)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	out[root] = cp
+	for i := 0; i < c.size-1; i++ {
+		msg, err := c.collRecv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[msg.From] = msg.Data
+	}
+	return out, nil
+}
+
+// Alltoall performs a personalized exchange: rank r sends send[q] to rank q
+// and returns recv where recv[q] is the buffer rank q addressed to r. Empty
+// (including nil) buffers are exchanged too, so every rank always knows the
+// exchange completed. This is the workhorse of the ghost-vertex and
+// community-update protocols (MPI_Alltoallv in the paper's implementation).
+func (c *Comm) Alltoall(send [][]byte) ([][]byte, error) {
+	if len(send) != c.size {
+		return nil, errLenMismatch("Alltoall", c.size, len(send))
+	}
+	tag := c.collTag()
+	recv := make([][]byte, c.size)
+	cp := make([]byte, len(send[c.rank]))
+	copy(cp, send[c.rank])
+	recv[c.rank] = cp
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		if err := c.collSend(r, tag, send[r]); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < c.size-1; i++ {
+		msg, err := c.collRecv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		recv[msg.From] = msg.Data
+	}
+	return recv, nil
+}
+
+// NeighborAlltoall is the sparse counterpart of Alltoall, modelled on the
+// MPI-3 neighborhood collectives the paper's §VI proposes adopting: each
+// rank exchanges buffers only with a fixed peer set instead of all p ranks.
+// peers must be symmetric across the world (if q lists r, r lists q) and
+// every rank must call the operation (possibly with an empty peer list) —
+// the usual SPMD rule. send[i] goes to peers[i]; recv[i] arrives from
+// peers[i].
+//
+// With g ghost-sharing neighbours per rank this costs O(g) messages per
+// rank instead of O(p), which is the entire point on large worlds where
+// the 1-D decomposition keeps most rank pairs unrelated.
+func (c *Comm) NeighborAlltoall(peers []int, send [][]byte) ([][]byte, error) {
+	if len(send) != len(peers) {
+		return nil, errLenMismatch("NeighborAlltoall", len(peers), len(send))
+	}
+	tag := c.collTag()
+	recv := make([][]byte, len(peers))
+	index := make(map[int]int, len(peers))
+	for i, q := range peers {
+		if err := checkPeer(q, c.size, "NeighborAlltoall"); err != nil {
+			return nil, err
+		}
+		if q == c.rank {
+			return nil, fmt.Errorf("mpi: NeighborAlltoall: rank %d listed itself as a peer", q)
+		}
+		if _, dup := index[q]; dup {
+			return nil, fmt.Errorf("mpi: NeighborAlltoall: duplicate peer %d", q)
+		}
+		index[q] = i
+	}
+	for i, q := range peers {
+		if err := c.collSend(q, tag, send[i]); err != nil {
+			return nil, err
+		}
+	}
+	for range peers {
+		msg, err := c.collRecv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		i, ok := index[msg.From]
+		if !ok {
+			return nil, fmt.Errorf("mpi: NeighborAlltoall: message from non-peer rank %d (asymmetric peer lists?)", msg.From)
+		}
+		recv[i] = msg.Data
+	}
+	return recv, nil
+}
+
+type lenMismatchError struct {
+	op         string
+	want, have int
+}
+
+func (e *lenMismatchError) Error() string {
+	return "mpi: " + e.op + ": length mismatch"
+}
+
+func errLenMismatch(op string, want, have int) error {
+	return &lenMismatchError{op: op, want: want, have: have}
+}

@@ -1,0 +1,109 @@
+package mpi
+
+import "fmt"
+
+// Comm is a communicator: a transport endpoint plus collective operations
+// and traffic accounting. It corresponds to MPI_COMM_WORLD in the paper's
+// code. A Comm is used by a single rank; the point-to-point operations may
+// be called concurrently (e.g. from a communication thread), but the
+// collectives follow the MPI rule that all ranks invoke them in the same
+// order.
+type Comm struct {
+	t     Transport
+	rank  int
+	size  int
+	stats Stats
+
+	// collSeq numbers collective operations. Because every rank executes
+	// the same collective sequence (SPMD), equal sequence numbers identify
+	// the same logical operation, which keeps back-to-back collectives of
+	// the same kind from stealing each other's messages.
+	collSeq uint64
+}
+
+// NewComm wraps a transport endpoint.
+func NewComm(t Transport) *Comm {
+	return &Comm{t: t, rank: t.Rank(), size: t.Size()}
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Stats exposes the traffic counters.
+func (c *Comm) Stats() *Stats { return &c.stats }
+
+// Close shuts down the underlying transport.
+func (c *Comm) Close() error { return c.t.Close() }
+
+// Send transmits data to rank `to` with an application tag in
+// [0, MaxUserTag].
+func (c *Comm) Send(to, tag int, data []byte) error {
+	if tag < 0 || tag > MaxUserTag {
+		return fmt.Errorf("mpi: user tag %d out of range [0,%d]", tag, MaxUserTag)
+	}
+	c.stats.SentMsgs.Add(1)
+	c.stats.SentBytes.Add(int64(len(data)))
+	return c.t.Send(to, tag, data)
+}
+
+// Recv blocks for a message matching (from, tag); from may be AnySource,
+// tag may be AnyTag (application tags only).
+func (c *Comm) Recv(from, tag int) (Message, error) {
+	msg, err := c.t.Recv(from, tag)
+	if err != nil {
+		return msg, err
+	}
+	c.stats.RecvMsgs.Add(1)
+	c.stats.RecvBytes.Add(int64(len(msg.Data)))
+	return msg, nil
+}
+
+// SendInt64s is a typed convenience around Send.
+func (c *Comm) SendInt64s(to, tag int, vs []int64) error {
+	return c.Send(to, tag, EncodeInt64s(vs))
+}
+
+// RecvInt64s is a typed convenience around Recv.
+func (c *Comm) RecvInt64s(from, tag int) ([]int64, error) {
+	msg, err := c.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeInt64s(msg.Data)
+}
+
+// SendFloat64s is a typed convenience around Send.
+func (c *Comm) SendFloat64s(to, tag int, vs []float64) error {
+	return c.Send(to, tag, EncodeFloat64s(vs))
+}
+
+// RecvFloat64s is a typed convenience around Recv.
+func (c *Comm) RecvFloat64s(from, tag int) ([]float64, error) {
+	msg, err := c.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFloat64s(msg.Data)
+}
+
+// collTag derives the reserved tag for the current collective operation.
+// The sequence wraps far before colliding with in-flight operations.
+func (c *Comm) collTag() int {
+	c.collSeq++
+	c.stats.CollectiveOps.Add(1)
+	return MaxUserTag + 1 + int(c.collSeq%(1<<20))
+}
+
+// collSend is Send without user-tag validation, for collective internals.
+func (c *Comm) collSend(to, tag int, data []byte) error {
+	c.stats.CollMsgs.Add(1)
+	c.stats.CollBytes.Add(int64(len(data)))
+	return c.t.Send(to, tag, data)
+}
+
+func (c *Comm) collRecv(from, tag int) (Message, error) {
+	return c.t.Recv(from, tag)
+}

@@ -1,0 +1,66 @@
+package mpi
+
+import "sync"
+
+// matchQueue is an unbounded mailbox with MPI-style (source, tag) matching.
+// Both the in-process and TCP transports deliver into one matchQueue per
+// receiving rank.
+type matchQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   []Message // pending messages in arrival order
+	closed bool
+}
+
+func newMatchQueue() *matchQueue {
+	q := &matchQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push delivers a message. The queue takes ownership of msg.Data.
+func (q *matchQueue) push(msg Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.msgs = append(q.msgs, msg)
+	q.cond.Broadcast()
+	return nil
+}
+
+// pop blocks until a message matching (from, tag) is pending, removes the
+// earliest such message, and returns it. Matching respects MPI ordering:
+// messages from one sender with one tag are matched in arrival order.
+func (q *matchQueue) pop(from, tag int) (Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for i, m := range q.msgs {
+			if (from == AnySource || m.From == from) && (tag == AnyTag || m.Tag == tag) {
+				q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+				return m, nil
+			}
+		}
+		if q.closed {
+			return Message{}, ErrClosed
+		}
+		q.cond.Wait()
+	}
+}
+
+// close wakes all waiters with ErrClosed and rejects future pushes.
+func (q *matchQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// pending returns the number of undelivered messages (for tests/stats).
+func (q *matchQueue) pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.msgs)
+}

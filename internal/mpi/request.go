@@ -1,0 +1,83 @@
+package mpi
+
+import "sync"
+
+// Request is the handle of a nonblocking operation, mirroring MPI_Request.
+// The paper's implementation posts nonblocking sends/receives around its
+// computation; the same overlap structure is expressible here, although on
+// this runtime Send is already asynchronous and the main value of Irecv is
+// posting a receive before the matching send exists.
+type Request struct {
+	once sync.Once
+	done chan struct{}
+	msg  Message
+	err  error
+}
+
+func newRequest() *Request {
+	return &Request{done: make(chan struct{})}
+}
+
+// Wait blocks until the operation completes and returns its message (zero
+// Message for sends) and error, mirroring MPI_Wait.
+func (r *Request) Wait() (Message, error) {
+	<-r.done
+	return r.msg, r.err
+}
+
+// Test reports whether the operation has completed without blocking,
+// mirroring MPI_Test. When it returns true, the message and error carry the
+// result.
+func (r *Request) Test() (Message, error, bool) {
+	select {
+	case <-r.done:
+		return r.msg, r.err, true
+	default:
+		return Message{}, nil, false
+	}
+}
+
+func (r *Request) complete(msg Message, err error) {
+	r.once.Do(func() {
+		r.msg = msg
+		r.err = err
+		close(r.done)
+	})
+}
+
+// Isend starts a nonblocking send and returns its request. On this runtime
+// the underlying Send never blocks on the receiver, so the request
+// completes immediately; the call exists so ported MPI code keeps its
+// shape (and so the TCP transport's enqueue errors surface through Wait).
+func (c *Comm) Isend(to, tag int, data []byte) *Request {
+	r := newRequest()
+	err := c.Send(to, tag, data)
+	r.complete(Message{}, err)
+	return r
+}
+
+// Irecv posts a nonblocking receive for (from, tag) and returns its
+// request. The matching message is claimed by a dedicated goroutine, so a
+// later blocking Recv on a different (source, tag) pair cannot steal it.
+// As with MPI, posting several Irecvs for overlapping patterns makes the
+// match order between them unspecified.
+func (c *Comm) Irecv(from, tag int) *Request {
+	r := newRequest()
+	go func() {
+		msg, err := c.Recv(from, tag)
+		r.complete(msg, err)
+	}()
+	return r
+}
+
+// Waitall waits for every request and returns the first error encountered,
+// mirroring MPI_Waitall.
+func Waitall(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

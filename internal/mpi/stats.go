@@ -1,0 +1,78 @@
+package mpi
+
+import "sync/atomic"
+
+// Stats accumulates traffic counters for one communicator. The paper's §V-A
+// profile (34% community communication, 40% allreduce, …) is reproduced from
+// these counters, so they are split between point-to-point and collective
+// traffic.
+type Stats struct {
+	SentMsgs      atomic.Int64 // point-to-point messages sent
+	SentBytes     atomic.Int64 // point-to-point payload bytes sent
+	RecvMsgs      atomic.Int64
+	RecvBytes     atomic.Int64
+	CollectiveOps atomic.Int64 // collective operations entered
+	CollMsgs      atomic.Int64 // messages sent on behalf of collectives
+	CollBytes     atomic.Int64
+}
+
+// Snapshot is an immutable copy of the counters.
+type Snapshot struct {
+	SentMsgs, SentBytes int64
+	RecvMsgs, RecvBytes int64
+	CollectiveOps       int64
+	CollMsgs, CollBytes int64
+}
+
+// Snapshot returns the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		SentMsgs:      s.SentMsgs.Load(),
+		SentBytes:     s.SentBytes.Load(),
+		RecvMsgs:      s.RecvMsgs.Load(),
+		RecvBytes:     s.RecvBytes.Load(),
+		CollectiveOps: s.CollectiveOps.Load(),
+		CollMsgs:      s.CollMsgs.Load(),
+		CollBytes:     s.CollBytes.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.SentMsgs.Store(0)
+	s.SentBytes.Store(0)
+	s.RecvMsgs.Store(0)
+	s.RecvBytes.Store(0)
+	s.CollectiveOps.Store(0)
+	s.CollMsgs.Store(0)
+	s.CollBytes.Store(0)
+}
+
+// Sub returns the counter deltas a-b, for measuring a region of execution.
+func (a Snapshot) Sub(b Snapshot) Snapshot {
+	return Snapshot{
+		SentMsgs:      a.SentMsgs - b.SentMsgs,
+		SentBytes:     a.SentBytes - b.SentBytes,
+		RecvMsgs:      a.RecvMsgs - b.RecvMsgs,
+		RecvBytes:     a.RecvBytes - b.RecvBytes,
+		CollectiveOps: a.CollectiveOps - b.CollectiveOps,
+		CollMsgs:      a.CollMsgs - b.CollMsgs,
+		CollBytes:     a.CollBytes - b.CollBytes,
+	}
+}
+
+// Add returns element-wise a+b.
+func (a Snapshot) Add(b Snapshot) Snapshot {
+	return Snapshot{
+		SentMsgs:      a.SentMsgs + b.SentMsgs,
+		SentBytes:     a.SentBytes + b.SentBytes,
+		RecvMsgs:      a.RecvMsgs + b.RecvMsgs,
+		RecvBytes:     a.RecvBytes + b.RecvBytes,
+		CollectiveOps: a.CollectiveOps + b.CollectiveOps,
+		CollMsgs:      a.CollMsgs + b.CollMsgs,
+		CollBytes:     a.CollBytes + b.CollBytes,
+	}
+}
+
+// TotalBytes returns all payload bytes sent (point-to-point + collective).
+func (a Snapshot) TotalBytes() int64 { return a.SentBytes + a.CollBytes }

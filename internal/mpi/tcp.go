@@ -1,0 +1,292 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// tcpFrameHeader is [tag int32][length uint32]; the sender's rank is
+// established once per connection by a handshake frame, so it is not
+// repeated per message.
+const tcpHeaderSize = 8
+
+// maxTCPFrame bounds a single message to guard against corrupt length
+// prefixes; 1 GiB is far above anything the Louvain exchanges produce.
+const maxTCPFrame = 1 << 30
+
+// TCPWorldConfig describes a TCP world. Addrs[i] is the listen address of
+// rank i ("host:port"); every rank must use the same list in the same order.
+type TCPWorldConfig struct {
+	Rank  int
+	Addrs []string
+	// DialTimeout bounds each connection attempt; rendezvous retries until
+	// ConnectDeadline. Zero values select 2s and 30s respectively.
+	DialTimeout     time.Duration
+	ConnectDeadline time.Duration
+}
+
+// tcpEndpoint implements Transport over a full mesh of TCP connections.
+// Rank i accepts connections from ranks j > i and dials ranks j < i, so each
+// unordered pair owns exactly one connection.
+type tcpEndpoint struct {
+	rank, size int
+	queue      *matchQueue
+	listener   net.Listener
+
+	mu      sync.Mutex
+	writers []*tcpWriter // indexed by peer rank; nil at self
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// tcpWriter serializes frames onto one connection from a queue drained by a
+// dedicated goroutine, keeping Send non-blocking as the Transport contract
+// requires.
+type tcpWriter struct {
+	conn net.Conn
+	ch   chan []byte // fully framed messages
+	done chan struct{}
+	errs chan error
+}
+
+func newTCPWriter(conn net.Conn) *tcpWriter {
+	w := &tcpWriter{conn: conn, ch: make(chan []byte, 1024), done: make(chan struct{}), errs: make(chan error, 1)}
+	go func() {
+		bw := bufio.NewWriterSize(conn, 1<<16)
+		for frame := range w.ch {
+			if _, err := bw.Write(frame); err != nil {
+				select {
+				case w.errs <- err:
+				default:
+				}
+				break
+			}
+			// Flush when no more frames are immediately pending so that
+			// small control messages are not delayed behind the buffer.
+			if len(w.ch) == 0 {
+				if err := bw.Flush(); err != nil {
+					select {
+					case w.errs <- err:
+					default:
+					}
+					break
+				}
+			}
+		}
+		close(w.done)
+	}()
+	return w
+}
+
+func (w *tcpWriter) enqueue(frame []byte) error {
+	select {
+	case err := <-w.errs:
+		return fmt.Errorf("mpi: tcp write: %w", err)
+	default:
+	}
+	w.ch <- frame
+	return nil
+}
+
+func (w *tcpWriter) close() {
+	close(w.ch)
+	<-w.done
+	w.conn.Close()
+}
+
+// DialTCPWorld performs the full-mesh rendezvous described by cfg and
+// returns this rank's transport. It blocks until all 2-way connections are
+// established or the deadline expires.
+func DialTCPWorld(cfg TCPWorldConfig) (Transport, error) {
+	size := len(cfg.Addrs)
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: empty address list")
+	}
+	if err := checkPeer(cfg.Rank, size, "DialTCPWorld"); err != nil {
+		return nil, err
+	}
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	deadline := cfg.ConnectDeadline
+	if deadline <= 0 {
+		deadline = 30 * time.Second
+	}
+
+	ep := &tcpEndpoint{
+		rank:    cfg.Rank,
+		size:    size,
+		queue:   newMatchQueue(),
+		writers: make([]*tcpWriter, size),
+	}
+	if size == 1 {
+		return ep, nil
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d listen %s: %w", cfg.Rank, cfg.Addrs[cfg.Rank], err)
+	}
+	ep.listener = ln
+
+	type dialed struct {
+		peer int
+		conn net.Conn
+		err  error
+	}
+	results := make(chan dialed, size)
+
+	// Accept from higher-ranked peers.
+	nAccept := size - 1 - cfg.Rank
+	go func() {
+		for i := 0; i < nAccept; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				results <- dialed{err: fmt.Errorf("mpi: rank %d accept: %w", cfg.Rank, err)}
+				return
+			}
+			// Handshake: the dialer announces its rank.
+			var hs [4]byte
+			if _, err := io.ReadFull(conn, hs[:]); err != nil {
+				results <- dialed{err: fmt.Errorf("mpi: rank %d handshake read: %w", cfg.Rank, err)}
+				return
+			}
+			peer := int(int32(binary.LittleEndian.Uint32(hs[:])))
+			if peer <= cfg.Rank || peer >= size {
+				results <- dialed{err: fmt.Errorf("mpi: rank %d unexpected handshake from rank %d", cfg.Rank, peer)}
+				return
+			}
+			results <- dialed{peer: peer, conn: conn}
+		}
+	}()
+
+	// Dial lower-ranked peers, retrying until the deadline to tolerate
+	// ranks that start listening at slightly different times.
+	for peer := 0; peer < cfg.Rank; peer++ {
+		go func(peer int) {
+			var lastErr error
+			end := time.Now().Add(deadline)
+			for time.Now().Before(end) {
+				conn, err := net.DialTimeout("tcp", cfg.Addrs[peer], dialTimeout)
+				if err == nil {
+					var hs [4]byte
+					binary.LittleEndian.PutUint32(hs[:], uint32(int32(cfg.Rank)))
+					if _, err = conn.Write(hs[:]); err == nil {
+						results <- dialed{peer: peer, conn: conn}
+						return
+					}
+					conn.Close()
+				}
+				lastErr = err
+				time.Sleep(50 * time.Millisecond)
+			}
+			results <- dialed{err: fmt.Errorf("mpi: rank %d dial rank %d (%s): %w", cfg.Rank, peer, cfg.Addrs[peer], lastErr)}
+		}(peer)
+	}
+
+	need := size - 1
+	for i := 0; i < need; i++ {
+		d := <-results
+		if d.err != nil {
+			ep.Close()
+			return nil, d.err
+		}
+		if tc, ok := d.conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		ep.writers[d.peer] = newTCPWriter(d.conn)
+		ep.wg.Add(1)
+		go ep.readLoop(d.peer, d.conn)
+	}
+	return ep, nil
+}
+
+// readLoop parses frames from one peer connection into the match queue.
+func (e *tcpEndpoint) readLoop(peer int, conn net.Conn) {
+	defer e.wg.Done()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var hdr [tcpHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		tag := int(int32(binary.LittleEndian.Uint32(hdr[0:4])))
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxTCPFrame {
+			return
+		}
+		var data []byte
+		if n > 0 {
+			data = make([]byte, n)
+			if _, err := io.ReadFull(br, data); err != nil {
+				return
+			}
+		}
+		if e.queue.push(Message{From: peer, Tag: tag, Data: data}) != nil {
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Rank() int { return e.rank }
+func (e *tcpEndpoint) Size() int { return e.size }
+
+func (e *tcpEndpoint) Send(to, tag int, data []byte) error {
+	if err := checkPeer(to, e.size, "Send"); err != nil {
+		return err
+	}
+	if to == e.rank {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		return e.queue.push(Message{From: e.rank, Tag: tag, Data: cp})
+	}
+	e.mu.Lock()
+	w := e.writers[to]
+	closed := e.closed
+	e.mu.Unlock()
+	if closed || w == nil {
+		return ErrClosed
+	}
+	frame := make([]byte, tcpHeaderSize+len(data))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(data)))
+	copy(frame[tcpHeaderSize:], data)
+	return w.enqueue(frame)
+}
+
+func (e *tcpEndpoint) Recv(from, tag int) (Message, error) {
+	if from != AnySource {
+		if err := checkPeer(from, e.size, "Recv"); err != nil {
+			return Message{}, err
+		}
+	}
+	return e.queue.pop(from, tag)
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	writers := e.writers
+	e.mu.Unlock()
+	for _, w := range writers {
+		if w != nil {
+			w.close()
+		}
+	}
+	if e.listener != nil {
+		e.listener.Close()
+	}
+	e.queue.close()
+	e.wg.Wait()
+	return nil
+}

@@ -1,0 +1,174 @@
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// freeAddrs reserves n distinct loopback ports by briefly listening on
+// port 0, so concurrent TCP-world tests do not collide.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// runTCPWorld runs body as an SPMD program over a TCP world whose ranks live
+// on goroutines of this test process — each rank still gets its own socket
+// mesh, exercising the real wire protocol.
+func runTCPWorld(t *testing.T, size int, body func(c *Comm) error) {
+	t.Helper()
+	addrs := freeAddrs(t, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tp, err := DialTCPWorld(TCPWorldConfig{Rank: r, Addrs: addrs})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer tp.Close()
+			errs[r] = body(NewComm(tp))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	runTCPWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 4, []byte("over the wire"))
+		}
+		msg, err := c.Recv(0, 4)
+		if err != nil {
+			return err
+		}
+		if string(msg.Data) != "over the wire" {
+			return fmt.Errorf("got %q", msg.Data)
+		}
+		return nil
+	})
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	runTCPWorld(t, 2, func(c *Comm) error {
+		if err := c.Send(c.Rank(), 1, []byte{byte(c.Rank())}); err != nil {
+			return err
+		}
+		msg, err := c.Recv(c.Rank(), 1)
+		if err != nil {
+			return err
+		}
+		if msg.Data[0] != byte(c.Rank()) {
+			return fmt.Errorf("self-send corrupted")
+		}
+		return nil
+	})
+}
+
+func TestTCPCollectives(t *testing.T) {
+	const p = 4
+	runTCPWorld(t, p, func(c *Comm) error {
+		sum, err := c.AllreduceInt64(int64(c.Rank()+1), OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 10 {
+			return fmt.Errorf("allreduce sum = %d", sum)
+		}
+		pre, err := c.ExscanInt64(1)
+		if err != nil {
+			return err
+		}
+		if pre != int64(c.Rank()) {
+			return fmt.Errorf("exscan = %d want %d", pre, c.Rank())
+		}
+		send := make([][]byte, p)
+		for q := range send {
+			send[q] = []byte{byte(c.Rank()), byte(q)}
+		}
+		recv, err := c.Alltoall(send)
+		if err != nil {
+			return err
+		}
+		for q := range recv {
+			if recv[q][0] != byte(q) || recv[q][1] != byte(c.Rank()) {
+				return fmt.Errorf("alltoall block from %d = %v", q, recv[q])
+			}
+		}
+		return c.Barrier()
+	})
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	const n = 1 << 20 // 1 MiB, crosses many bufio flushes
+	runTCPWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = byte(i * 31)
+			}
+			return c.Send(1, 0, buf)
+		}
+		msg, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if len(msg.Data) != n {
+			return fmt.Errorf("len = %d", len(msg.Data))
+		}
+		for i, b := range msg.Data {
+			if b != byte(i*31) {
+				return fmt.Errorf("corruption at byte %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPSingleRankWorld(t *testing.T) {
+	tp, err := DialTCPWorld(TCPWorldConfig{Rank: 0, Addrs: []string{"127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	c := NewComm(tp)
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.AllreduceInt64(7, OpSum)
+	if err != nil || v != 7 {
+		t.Fatalf("allreduce on single rank: %d, %v", v, err)
+	}
+}
+
+func TestTCPWorldConfigValidation(t *testing.T) {
+	if _, err := DialTCPWorld(TCPWorldConfig{Rank: 0, Addrs: nil}); err == nil {
+		t.Fatal("expected error for empty address list")
+	}
+	if _, err := DialTCPWorld(TCPWorldConfig{Rank: 3, Addrs: []string{"a", "b"}}); err == nil {
+		t.Fatal("expected error for out-of-range rank")
+	}
+}

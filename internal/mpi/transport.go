@@ -1,0 +1,79 @@
+// Package mpi implements the message-passing runtime this repository uses in
+// place of MPI. It provides the subset of MPI-1 semantics the distributed
+// Louvain algorithm needs: tagged point-to-point messages, barriers,
+// broadcasts, reductions, exclusive prefix scans, gathers and personalized
+// all-to-all exchanges, plus traffic accounting.
+//
+// Two transports are provided:
+//
+//   - the in-process transport (NewInprocWorld), where each rank is a
+//     goroutine and messages are deep-copied byte slices. Copying is
+//     deliberate: it enforces the distributed-memory discipline — ranks can
+//     never observe each other's mutations except through messages — so the
+//     algorithm code is honest about what would cross a network.
+//
+//   - the TCP transport (DialTCPWorld), where each rank is an OS process and
+//     messages travel over a full mesh of TCP connections with
+//     length-prefixed frames. This is the "custom RPC messaging layer" that
+//     stands in for cray-mpich in the paper's experiments.
+//
+// All collectives are built on the point-to-point layer, exactly as a small
+// MPI implementation would do, using binomial trees and dissemination
+// patterns with O(log p) rounds.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AnySource can be passed as the source rank of Recv to match a message from
+// any sender, mirroring MPI_ANY_SOURCE.
+const AnySource = -1
+
+// AnyTag can be passed as the tag of Recv to match any tag, mirroring
+// MPI_ANY_TAG.
+const AnyTag = -1
+
+// MaxUserTag is the largest tag value available to applications. Tags above
+// it are reserved for the collective implementations.
+const MaxUserTag = 1<<20 - 1
+
+// ErrClosed is returned by operations on a communicator whose transport has
+// been shut down.
+var ErrClosed = errors.New("mpi: transport closed")
+
+// Message is a received point-to-point message.
+type Message struct {
+	From int    // sending rank
+	Tag  int    // application tag
+	Data []byte // payload; owned by the receiver
+}
+
+// Transport is the byte-level rank-to-rank messaging substrate. Send must be
+// asynchronous (never block waiting for the receiver) so that collectives
+// built from symmetric send/recv exchanges cannot deadlock. Recv blocks
+// until a matching message arrives.
+type Transport interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the world.
+	Size() int
+	// Send enqueues data for delivery to rank `to` with the given tag.
+	// The transport takes its own copy; the caller may reuse data.
+	Send(to, tag int, data []byte) error
+	// Recv blocks until a message matching (from, tag) is available and
+	// returns it. from may be AnySource and tag may be AnyTag. Messages
+	// from the same sender with the same tag are delivered in send order.
+	Recv(from, tag int) (Message, error)
+	// Close shuts the endpoint down. Blocked and future calls fail with
+	// ErrClosed.
+	Close() error
+}
+
+func checkPeer(rank, size int, op string) error {
+	if rank < 0 || rank >= size {
+		return fmt.Errorf("mpi: %s: rank %d out of range [0,%d)", op, rank, size)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package seq
+
+import (
+	"sort"
+
+	"distlouvain/internal/graph"
+)
+
+// Coarsen collapses each community of comm into one meta-vertex and returns
+// the coarse graph plus the dense relabeling: renumber[oldLabel] = coarse
+// vertex ID. Coarse vertex IDs are assigned in increasing order of the old
+// community labels (0..C-1), which keeps the operation deterministic.
+//
+// Weights follow the conventions of package graph: a fine arc u→v with
+// comm[u]=a, comm[v]=b contributes its weight to the coarse arc a→b, so
+// inter-community weights stay symmetric and the coarse self loop a→a
+// accumulates the doubled intra-community weight. Modularity of the
+// identity partition of the coarse graph equals the modularity of comm on
+// the fine graph.
+func Coarsen(g *graph.CSR, comm []int64) (*graph.CSR, map[int64]int64) {
+	// Dense renumbering of surviving labels.
+	labels := make([]int64, 0, 64)
+	seen := make(map[int64]struct{})
+	for _, c := range comm {
+		if _, ok := seen[c]; !ok {
+			seen[c] = struct{}{}
+			labels = append(labels, c)
+		}
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	renumber := make(map[int64]int64, len(labels))
+	for i, c := range labels {
+		renumber[c] = int64(i)
+	}
+
+	// Accumulate coarse arcs.
+	type pair struct{ a, b int64 }
+	acc := make(map[pair]float64)
+	for v := int64(0); v < g.N; v++ {
+		a := renumber[comm[v]]
+		for _, e := range g.Neighbors(v) {
+			b := renumber[comm[e.To]]
+			acc[pair{a, b}] += e.W
+		}
+	}
+
+	// Sort the coarse arcs into CSR order.
+	arcs := make([]pair, 0, len(acc))
+	for p := range acc {
+		arcs = append(arcs, p)
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].a != arcs[j].a {
+			return arcs[i].a < arcs[j].a
+		}
+		return arcs[i].b < arcs[j].b
+	})
+	nc := int64(len(labels))
+	index := make([]int64, nc+1)
+	edges := make([]graph.Edge, 0, len(arcs))
+	for _, p := range arcs {
+		edges = append(edges, graph.Edge{To: p.b, W: acc[p]})
+		index[p.a+1]++
+	}
+	for v := int64(0); v < nc; v++ {
+		index[v+1] += index[v]
+	}
+	return &graph.CSR{N: nc, Index: index, Edges: edges}, renumber
+}

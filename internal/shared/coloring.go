@@ -1,0 +1,70 @@
+package shared
+
+import (
+	"distlouvain/internal/graph"
+)
+
+// GreedyColoring computes a distance-1 coloring of g: adjacent vertices
+// receive different colors. It is the sequential greedy first-fit algorithm
+// over the natural vertex order; the number of colors is at most
+// maxDegree+1. Self loops are ignored (a vertex is trivially "adjacent to
+// itself").
+func GreedyColoring(g *graph.CSR) ([]int, int) {
+	n := g.N
+	color := make([]int, n)
+	for v := range color {
+		color[v] = -1
+	}
+	// forbidden[c] == v marks color c as used by a neighbour of v.
+	forbidden := make([]int64, 0)
+	maxColor := 0
+	for v := int64(0); v < n; v++ {
+		for _, e := range g.Neighbors(v) {
+			if e.To == v {
+				continue
+			}
+			if c := color[e.To]; c >= 0 {
+				for len(forbidden) <= c {
+					forbidden = append(forbidden, -1)
+				}
+				forbidden[c] = v
+			}
+		}
+		c := 0
+		for c < len(forbidden) && forbidden[c] == v {
+			c++
+		}
+		color[v] = c
+		if c+1 > maxColor {
+			maxColor = c + 1
+		}
+	}
+	return color, maxColor
+}
+
+// ColorClasses groups vertices by color: classes[c] lists the vertices of
+// color c. threads is accepted for interface symmetry with a future
+// parallel (Jones–Plassmann) coloring; the greedy pass itself is serial, as
+// in Grappolo's default configuration.
+func ColorClasses(g *graph.CSR, threads int) ([][]int64, int) {
+	_ = threads
+	color, nc := GreedyColoring(g)
+	classes := make([][]int64, nc)
+	for v := int64(0); v < g.N; v++ {
+		classes[color[v]] = append(classes[color[v]], v)
+	}
+	return classes, nc
+}
+
+// ValidateColoring checks that no two adjacent distinct vertices share a
+// color. Used by tests and exposed for diagnostics.
+func ValidateColoring(g *graph.CSR, color []int) bool {
+	for v := int64(0); v < g.N; v++ {
+		for _, e := range g.Neighbors(v) {
+			if e.To != v && color[e.To] == color[v] {
+				return false
+			}
+		}
+	}
+	return true
+}

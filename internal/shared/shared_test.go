@@ -1,0 +1,343 @@
+package shared
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distlouvain/internal/gen"
+	"distlouvain/internal/graph"
+	"distlouvain/internal/seq"
+)
+
+func twoCliques() *graph.CSR {
+	b := graph.NewBuilder(8)
+	clique := func(vs []int64) {
+		for i := range vs {
+			for j := i + 1; j < len(vs); j++ {
+				if err := b.AddEdge(vs[i], vs[j], 1); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	clique([]int64{0, 1, 2, 3})
+	clique([]int64{4, 5, 6, 7})
+	if err := b.AddEdge(3, 4, 1); err != nil {
+		panic(err)
+	}
+	return b.Build()
+}
+
+func TestRunTwoCliques(t *testing.T) {
+	for _, threads := range []int{1, 2, 4} {
+		res := Run(twoCliques(), Options{Threads: threads})
+		if res.Communities != 2 {
+			t.Fatalf("threads=%d: %d communities (comm=%v)", threads, res.Communities, res.Comm)
+		}
+		want := 24.0/26.0 - 0.5
+		if math.Abs(res.Modularity-want) > 1e-12 {
+			t.Fatalf("threads=%d: Q=%g want %g", threads, res.Modularity, want)
+		}
+	}
+}
+
+func TestRunMatchesSerialQuality(t *testing.T) {
+	n, edges, _ := gen.PlantedPartition(8, 25, 0.4, 0.005, 21)
+	g := gen.Build(n, edges)
+	serial := seq.Run(g, seq.Options{})
+	parallel := Run(g, Options{Threads: 4})
+	// Different local optima are legal; quality must be comparable
+	// ("modularity difference under 1%" per the paper's Table III note).
+	if parallel.Modularity < serial.Modularity*0.97 {
+		t.Fatalf("parallel Q=%.4f far below serial Q=%.4f", parallel.Modularity, serial.Modularity)
+	}
+	// And the reported modularity must be exact for its own assignment.
+	if math.Abs(seq.Modularity(g, parallel.Comm)-parallel.Modularity) > 1e-9 {
+		t.Fatal("reported modularity does not match assignment")
+	}
+}
+
+func TestRunEmptyGraph(t *testing.T) {
+	res := Run(graph.NewBuilder(0).Build(), Options{})
+	if len(res.Comm) != 0 || res.Modularity != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestRunNoEdges(t *testing.T) {
+	res := Run(graph.NewBuilder(5).Build(), Options{Threads: 2})
+	if res.Communities != 5 {
+		t.Fatalf("isolated vertices merged: %v", res.Comm)
+	}
+}
+
+func TestRunMaxCaps(t *testing.T) {
+	_, edges := gen.ErdosRenyi(150, 600, 4)
+	g := gen.Build(150, edges)
+	res := Run(g, Options{MaxPhases: 1, MaxIterations: 2, Threads: 2})
+	if len(res.Phases) != 1 || res.Phases[0].Iterations > 2 {
+		t.Fatalf("caps ignored: %+v", res.Phases)
+	}
+}
+
+func TestETAlphaOneReducesIterations(t *testing.T) {
+	// The core Table I claim: aggressive ET cuts iterations sharply with
+	// small modularity loss.
+	n, edges := gen.BandedMesh(3000, 6)
+	g := gen.Build(n, edges)
+	base := Run(g, Options{Threads: 2, Alpha: 0, Seed: 5})
+	aggr := Run(g, Options{Threads: 2, Alpha: 1.0, Seed: 5})
+	if aggr.TotalIterations >= base.TotalIterations {
+		t.Fatalf("ET(1.0) iterations %d >= baseline %d", aggr.TotalIterations, base.TotalIterations)
+	}
+	if aggr.Modularity < base.Modularity-0.05 {
+		t.Fatalf("ET(1.0) Q=%.4f, baseline Q=%.4f", aggr.Modularity, base.Modularity)
+	}
+}
+
+func TestETMarksVerticesInactive(t *testing.T) {
+	n, edges := gen.BandedMesh(2000, 4)
+	g := gen.Build(n, edges)
+	res := Run(g, Options{Threads: 2, Alpha: 0.75, Seed: 9, MaxPhases: 1})
+	if res.Phases[0].InactiveAtEnd == 0 {
+		t.Fatal("no vertices went inactive with alpha=0.75")
+	}
+	base := Run(g, Options{Threads: 2, Alpha: 0, MaxPhases: 1})
+	if base.Phases[0].InactiveAtEnd != 0 {
+		t.Fatal("baseline marked vertices inactive")
+	}
+}
+
+func TestColoringValid(t *testing.T) {
+	for _, mk := range []func() *graph.CSR{
+		twoCliques,
+		func() *graph.CSR { n, e := gen.BandedMesh(500, 5); return gen.Build(n, e) },
+		func() *graph.CSR { n, e := gen.ErdosRenyi(300, 2000, 3); return gen.Build(n, e) },
+	} {
+		g := mk()
+		color, nc := GreedyColoring(g)
+		if !ValidateColoring(g, color) {
+			t.Fatal("invalid coloring")
+		}
+		maxDeg := int64(0)
+		for v := int64(0); v < g.N; v++ {
+			if d := g.Degree(v); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if int64(nc) > maxDeg+1 {
+			t.Fatalf("%d colors for max degree %d", nc, maxDeg)
+		}
+	}
+}
+
+func TestColorClassesPartition(t *testing.T) {
+	n, e := gen.ErdosRenyi(200, 800, 8)
+	g := gen.Build(n, e)
+	classes, nc := ColorClasses(g, 2)
+	if len(classes) != nc {
+		t.Fatalf("classes=%d nc=%d", len(classes), nc)
+	}
+	seen := make([]bool, n)
+	for _, class := range classes {
+		for _, v := range class {
+			if seen[v] {
+				t.Fatalf("vertex %d in two classes", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("vertex %d in no class", v)
+		}
+	}
+}
+
+func TestColoringModeQuality(t *testing.T) {
+	n, edges, _ := gen.PlantedPartition(6, 30, 0.4, 0.005, 17)
+	g := gen.Build(n, edges)
+	plain := Run(g, Options{Threads: 2, Seed: 1})
+	colored := Run(g, Options{Threads: 2, Seed: 1, UseColoring: true})
+	if colored.Phases[0].Colors == 0 {
+		t.Fatal("coloring stats missing")
+	}
+	if colored.Modularity < plain.Modularity-0.03 {
+		t.Fatalf("colored Q=%.4f plain Q=%.4f", colored.Modularity, plain.Modularity)
+	}
+}
+
+func TestVertexFollowing(t *testing.T) {
+	// Star with pendant vertices: all leaves should follow the hub.
+	b := graph.NewBuilder(6)
+	for v := int64(1); v < 6; v++ {
+		if err := b.AddEdge(0, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	init := FollowVertices(g)
+	for v := 1; v < 6; v++ {
+		if init[v] != 0 {
+			t.Fatalf("leaf %d followed to %d", v, init[v])
+		}
+	}
+	if init[0] != 0 {
+		t.Fatalf("hub moved to %d", init[0])
+	}
+	if CountFollowed(init) != 5 {
+		t.Fatalf("followed = %d", CountFollowed(init))
+	}
+}
+
+func TestVertexFollowingIsolatedPair(t *testing.T) {
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	init := FollowVertices(b.Build())
+	if init[2] != 2 || init[3] != 2 {
+		t.Fatalf("pair should anchor at 2: %v", init)
+	}
+	if init[0] != 0 || init[1] != 1 {
+		t.Fatalf("isolated vertices moved: %v", init)
+	}
+}
+
+func TestVertexFollowingSelfLoopOnly(t *testing.T) {
+	b := graph.NewBuilder(2)
+	if err := b.AddEdge(0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	init := FollowVertices(b.Build())
+	if init[0] != 0 {
+		t.Fatalf("self-loop vertex moved: %v", init)
+	}
+}
+
+func TestVertexFollowingEndToEnd(t *testing.T) {
+	// A planted-partition core with pendants hanging off vertex 0.
+	n, edges, _ := gen.PlantedPartition(4, 20, 0.5, 0.01, 33)
+	total := n + 10
+	b := graph.NewBuilder(total)
+	if err := b.AddAll(edges); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := b.AddEdge(n+i, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	withVF := Run(g, Options{Threads: 2, VertexFollowing: true})
+	without := Run(g, Options{Threads: 2})
+	if withVF.Modularity < without.Modularity-0.03 {
+		t.Fatalf("VF hurt quality: %.4f vs %.4f", withVF.Modularity, without.Modularity)
+	}
+	// Pendants end in the same community as the hub.
+	for i := int64(0); i < 10; i++ {
+		if withVF.Comm[n+i] != withVF.Comm[0] {
+			t.Fatalf("pendant %d not with hub", n+i)
+		}
+	}
+}
+
+func TestRuntimeRecorded(t *testing.T) {
+	res := Run(twoCliques(), Options{})
+	if res.Runtime <= 0 {
+		t.Fatal("runtime not recorded")
+	}
+}
+
+// Property: reported modularity is always exact for the returned assignment
+// and labels are dense, across thread counts and heuristics.
+func TestQuickRunConsistency(t *testing.T) {
+	f := func(seed uint64, cfg uint8) bool {
+		threads := int(cfg%4) + 1
+		alpha := float64(cfg%3) * 0.4
+		coloring := cfg&8 != 0
+		vf := cfg&16 != 0
+		n, edges, _ := gen.PlantedPartition(5, 15, 0.5, 0.02, seed)
+		g := gen.Build(n, edges)
+		res := Run(g, Options{Threads: threads, Alpha: alpha, UseColoring: coloring, VertexFollowing: vf, Seed: seed})
+		if int64(len(res.Comm)) != n {
+			return false
+		}
+		maxLabel := int64(-1)
+		seen := map[int64]bool{}
+		for _, c := range res.Comm {
+			if c < 0 {
+				return false
+			}
+			seen[c] = true
+			if c > maxLabel {
+				maxLabel = c
+			}
+		}
+		if int64(len(seen)) != res.Communities || maxLabel != res.Communities-1 {
+			return false
+		}
+		return math.Abs(seq.Modularity(g, res.Comm)-res.Modularity) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: modularity is near-monotone phase over phase. Synchronous
+// parallel sweeps may jointly make a small negative step (the "negative
+// gain" scenario of Lu et al. that the paper cites), so a small tolerance
+// is allowed — but large regressions would indicate a bug.
+func TestQuickPhasesMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		n, edges := gen.ErdosRenyi(120, 500, seed)
+		g := gen.Build(n, edges)
+		res := Run(g, Options{Threads: 2, Seed: seed})
+		for i := 1; i < len(res.Phases); i++ {
+			if res.Phases[i].Modularity < res.Phases[i-1].Modularity-0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedDeterministicSameSeed(t *testing.T) {
+	n, edges, _ := gen.PlantedPartition(6, 20, 0.5, 0.02, 19)
+	g := gen.Build(n, edges)
+	a := Run(g, Options{Threads: 3, Alpha: 0.5, Seed: 4})
+	b := Run(g, Options{Threads: 3, Alpha: 0.5, Seed: 4})
+	if a.Modularity != b.Modularity || a.TotalIterations != b.TotalIterations {
+		t.Fatalf("same-seed runs diverged: %g/%g, %d/%d",
+			a.Modularity, b.Modularity, a.TotalIterations, b.TotalIterations)
+	}
+	for v := range a.Comm {
+		if a.Comm[v] != b.Comm[v] {
+			t.Fatalf("assignment differs at %d", v)
+		}
+	}
+}
+
+func TestSharedThreadCountInvariantQuality(t *testing.T) {
+	// Thread count changes scheduling but the double-buffered sweep makes
+	// decisions from snapshots, so results must be identical across teams.
+	n, edges, _ := gen.PlantedPartition(5, 24, 0.5, 0.02, 23)
+	g := gen.Build(n, edges)
+	ref := Run(g, Options{Threads: 1, Seed: 2})
+	for _, threads := range []int{2, 4, 8} {
+		got := Run(g, Options{Threads: threads, Seed: 2})
+		if got.Modularity != ref.Modularity || got.TotalIterations != ref.TotalIterations {
+			t.Fatalf("threads=%d diverged from single-thread: Q %g vs %g",
+				threads, got.Modularity, ref.Modularity)
+		}
+		for v := range ref.Comm {
+			if got.Comm[v] != ref.Comm[v] {
+				t.Fatalf("threads=%d: assignment differs at %d", threads, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package distlouvain
+
+import (
+	"distlouvain/internal/gen"
+	"distlouvain/internal/gio"
+)
+
+// The workload constructors expose the paper's synthetic benchmark
+// generators through the public API. All are deterministic in their seed.
+
+// GenerateRMAT produces a power-law R-MAT graph with 2^scale vertices and
+// about edgeFactor·2^scale edges using the classic social-network quadrant
+// probabilities (0.57, 0.19, 0.19, 0.05). It stands in for the paper's
+// social and web datasets (com-orkut, soc-friendster, twitter-2010, …).
+func GenerateRMAT(scale int, edgeFactor int64, seed uint64) (int64, []Edge, error) {
+	return gen.RMAT(scale, edgeFactor, 0.57, 0.19, 0.19, 0.05, seed)
+}
+
+// GenerateBandedMesh produces a banded, locally connected graph (vertex v
+// links to v+1…v+band), the analogue of the paper's channel and nlpkkt240
+// PDE meshes.
+func GenerateBandedMesh(n, band int64) (int64, []Edge) {
+	return gen.BandedMesh(n, band)
+}
+
+// GenerateSmallWorld produces a Watts–Strogatz small-world graph (ring
+// lattice of even degree k, rewiring probability beta), the analogue of the
+// paper's CNR web crawl.
+func GenerateSmallWorld(n, k int64, beta float64, seed uint64) (int64, []Edge, error) {
+	return gen.WattsStrogatz(n, k, beta, seed)
+}
+
+// GenerateSSCA2 produces a DARPA SSCA#2 clique-based graph (the GTgraph
+// model used in the paper's weak-scaling study) and its clique ground
+// truth.
+func GenerateSSCA2(n, maxCliqueSize int64, interProb float64, seed uint64) (int64, []Edge, []int64, error) {
+	return gen.SSCA2(gen.SSCA2Options{N: n, MaxCliqueSize: maxCliqueSize, InterProb: interProb, Seed: seed})
+}
+
+// GenerateLFR produces an LFR-style benchmark graph with mixing parameter
+// mu and its ground-truth communities (the paper's Table VII workload).
+func GenerateLFR(n int64, mu float64, seed uint64) (int64, []Edge, []int64, error) {
+	return gen.LFR(gen.DefaultLFR(n, mu, seed))
+}
+
+// GenerateRandom produces an Erdős–Rényi G(n, m) graph.
+func GenerateRandom(n, m int64, seed uint64) (int64, []Edge) {
+	return gen.ErdosRenyi(n, m, seed)
+}
+
+// File I/O: the binary edge-list format the paper's implementation reads
+// through MPI I/O, plus plain-text edge lists.
+
+// WriteGraph writes an undirected edge list to the binary format.
+func WriteGraph(path string, n int64, edges []Edge) error {
+	return gio.WriteBinary(path, n, edges)
+}
+
+// ReadGraph reads a binary edge-list file.
+func ReadGraph(path string) (int64, []Edge, error) {
+	return gio.ReadBinary(path)
+}
+
+// ReadGraphText parses a whitespace-separated "u v [w]" edge list with '#'
+// or '%' comments (SNAP convention).
+func ReadGraphText(path string) (int64, []Edge, error) {
+	return gio.ReadEdgeListText(path)
+}
+
+// ReadGraphMETIS parses a graph in the METIS/Chaco adjacency format.
+func ReadGraphMETIS(path string) (int64, []Edge, error) {
+	return gio.ReadMETIS(path)
+}
