@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench fuzz experiments experiments-md clean
+.PHONY: all check build vet test test-race test-race-all bench fuzz experiments experiments-md clean
 
-all: build vet test
+all: check
+
+# The full gate: compile, static analysis, tests, and a race-detector pass
+# over the packages that juggle rank goroutines.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -15,9 +19,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# The race detector multiplies runtime; the heavier distributed tests stay
-# in scope because the rank goroutines are exactly what it should inspect.
+# The race detector multiplies runtime, so the default pass covers the
+# concurrency-heavy packages: the transport/collective layer and the
+# distributed algorithm driven on top of it.
 test-race:
+	$(GO) test -race ./internal/mpi/... ./internal/core/...
+
+test-race-all:
 	$(GO) test -race ./...
 
 bench:

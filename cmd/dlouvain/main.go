@@ -56,6 +56,17 @@ func main() {
 		outPath   = flag.String("o", "", "write detected communities (one label per line)")
 		truthPath = flag.String("truth", "", "ground-truth file for quality scoring")
 		verbose   = flag.Bool("v", false, "per-phase progress output")
+
+		// Failure-semantics knobs: deadlines turn a dead or partitioned
+		// peer into an error instead of a hang; the fault-* flags inject
+		// transport faults for chaos testing (tcp transport only).
+		recvTimeout = flag.Duration("recv-timeout", 0, "per-Recv deadline; 0 waits forever")
+		collTimeout = flag.Duration("coll-timeout", 0, "per-collective receive deadline; 0 waits forever")
+		faultSeed   = flag.Uint64("fault-seed", 0, "fault-injection RNG seed (with the other fault flags)")
+		faultDrop   = flag.Float64("fault-drop", 0, "probability an outgoing message is dropped")
+		faultDup    = flag.Float64("fault-dup", 0, "probability an outgoing message is duplicated")
+		faultDelay  = flag.Float64("fault-delay", 0, "probability an outgoing message is delayed")
+		faultKill   = flag.Int64("fault-kill-after", 0, "kill this rank's transport after N sends (tcp)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -82,20 +93,37 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	commOpts := []mpi.CommOption{
+		mpi.WithRecvTimeout(*recvTimeout),
+		mpi.WithCollectiveTimeout(*collTimeout),
+	}
+	fault := mpi.FaultPlan{
+		Seed:           *faultSeed,
+		Drop:           *faultDrop,
+		Duplicate:      *faultDup,
+		Delay:          *faultDelay,
+		KillAfterSends: *faultKill,
+	}
+
 	switch *transport {
 	case "inproc":
-		runInproc(path, hdr, *np, cfg, *edgeBal, *outPath, *truthPath, *verbose)
+		runInproc(path, hdr, *np, cfg, *edgeBal, *outPath, *truthPath, *verbose, commOpts)
 	case "tcp":
 		addrs := strings.Split(*hosts, ",")
 		if len(addrs) < 1 || *hosts == "" {
 			fatalf("tcp transport needs -hosts")
 		}
-		runTCP(path, hdr, *rank, addrs, cfg, *edgeBal, *outPath, *truthPath, *verbose)
+		runTCP(path, hdr, *rank, addrs, cfg, *edgeBal, *outPath, *truthPath, *verbose, commOpts, fault)
 	case "tcp-local":
 		launchLocalTCP(*np)
 	default:
 		fatalf("unknown transport %q", *transport)
 	}
+}
+
+// faultActive reports whether any fault-injection knob is set.
+func faultActive(p mpi.FaultPlan) bool {
+	return p.Drop > 0 || p.Duplicate > 0 || p.Delay > 0 || p.KillAfterSends > 0 || len(p.Partition) > 0
 }
 
 // launchLocalTCP re-executes this binary once per rank with -transport tcp
@@ -203,7 +231,7 @@ func rankBody(path string, hdr gio.Header, cfg core.Config, edgeBal, verbose boo
 	}
 }
 
-func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal bool, outPath, truthPath string, verbose bool) {
+func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption) {
 	body := rankBody(path, hdr, cfg, edgeBal, verbose)
 	var root *core.Result
 	err := mpi.Run(np, func(c *mpi.Comm) error {
@@ -215,20 +243,24 @@ func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal boo
 			root = res
 		}
 		return nil
-	})
+	}, commOpts...)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	report(root, hdr, cfg, np, outPath, truthPath)
 }
 
-func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Config, edgeBal bool, outPath, truthPath string, verbose bool) {
+func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Config, edgeBal bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption, fault mpi.FaultPlan) {
 	tp, err := mpi.DialTCPWorld(mpi.TCPWorldConfig{Rank: rank, Addrs: addrs})
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if faultActive(fault) {
+		fault.Seed ^= uint64(rank) * 0x9e3779b97f4a7c15 // per-rank schedule
+		tp = mpi.NewFaultTransport(tp, fault)
+	}
 	defer tp.Close()
-	c := mpi.NewComm(tp)
+	c := mpi.NewComm(tp, commOpts...)
 	res, err := rankBody(path, hdr, cfg, edgeBal, verbose)(c)
 	if err != nil {
 		fatalf("rank %d: %v", rank, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -267,7 +268,7 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 			globalInactive, err := st.dg.Comm.AllreduceInt64(localInactive, mpi.OpSum)
 			st.steps.Allreduce += time.Since(ta)
 			if err != nil {
-				return stat, err
+				return stat, fmt.Errorf("core: ETC inactivity allreduce: %w", err)
 			}
 			stat.InactiveFrac = float64(globalInactive) / float64(globalN)
 			if stat.InactiveFrac >= st.cfg.ETCExit {
@@ -347,7 +348,7 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 		}
 		globalInactive, err := st.dg.Comm.AllreduceInt64(localInactive, mpi.OpSum)
 		if err != nil {
-			return stat, err
+			return stat, fmt.Errorf("core: inactivity allreduce: %w", err)
 		}
 		if globalN > 0 {
 			stat.InactiveFrac = float64(globalInactive) / float64(globalN)

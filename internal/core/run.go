@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -47,11 +48,11 @@ func Run(dg *dgraph.DistGraph, cfg Config) (*Result, error) {
 
 		st, err := newPhaseState(cur, &cfg, phase, steps)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("phase %d setup: %w", phase, err)
 		}
 		stat, err := st.iterate(tau)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("phase %d: %w", phase, err)
 		}
 		res.Phases = append(res.Phases, stat)
 		res.TotalIterations += stat.Iterations
@@ -61,7 +62,7 @@ func Run(dg *dgraph.DistGraph, cfg Config) (*Result, error) {
 		// community (serial equivalent: comm[res.Comm[v]]).
 		flat, err := st.resolveVertexComms(origComm)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("phase %d assignment flattening: %w", phase, err)
 		}
 		for i, mv := range origComm {
 			origComm[i] = flat[mv]
@@ -71,7 +72,7 @@ func Run(dg *dgraph.DistGraph, cfg Config) (*Result, error) {
 		// exact final modularity even when this was the last phase.
 		ndg, oldToNew, err := st.rebuild(origComm)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("phase %d rebuild: %w", phase, err)
 		}
 		for i, cid := range origComm {
 			origComm[i] = oldToNew[cid]
@@ -112,7 +113,7 @@ func Run(dg *dgraph.DistGraph, cfg Config) (*Result, error) {
 	}
 	sums, err := c.AllreduceFloat64s([]float64{eLocal, aSqLocal}, mpi.OpSum)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("final modularity allreduce: %w", err)
 	}
 	if cur.M2 > 0 {
 		res.Modularity = sums[0]/cur.M2 - sums[1]/(cur.M2*cur.M2)

@@ -109,7 +109,7 @@ func (st *phaseState) setupGhostLists() error {
 	}
 	recv, err := c.Alltoall(send)
 	if err != nil {
-		return err
+		return fmt.Errorf("core: ghost-list setup: %w", err)
 	}
 	st.pushList = make([][]int64, p)
 	st.lastSent = make([][]int64, p)
@@ -199,7 +199,7 @@ func (st *phaseState) exchangeGhostComm() error {
 		}
 		recv, err := c.NeighborAlltoall(st.ghostPeers, send)
 		if err != nil {
-			return err
+			return fmt.Errorf("core: ghost exchange: %w", err)
 		}
 		for i, q := range st.ghostPeers {
 			if err := decodeFrom(q, recv[i]); err != nil {
@@ -216,7 +216,7 @@ func (st *phaseState) exchangeGhostComm() error {
 	}
 	recv, err := c.Alltoall(send)
 	if err != nil {
-		return err
+		return fmt.Errorf("core: ghost exchange: %w", err)
 	}
 	for q := 0; q < p; q++ {
 		if err := decodeFrom(q, recv[q]); err != nil {
@@ -286,7 +286,7 @@ func (st *phaseState) fetchCommunityInfo() error {
 	}
 	reqs, err := c.Alltoall(send)
 	if err != nil {
-		return err
+		return fmt.Errorf("core: community-info request: %w", err)
 	}
 	// Answer requests: (A_c, size) per cid, in request order.
 	resp := make([][]byte, p)
@@ -308,7 +308,7 @@ func (st *phaseState) fetchCommunityInfo() error {
 	}
 	answers, err := c.Alltoall(resp)
 	if err != nil {
-		return err
+		return fmt.Errorf("core: community-info reply: %w", err)
 	}
 	clear(st.remoteInfo)
 	for q := 0; q < p; q++ {
@@ -419,7 +419,7 @@ func (st *phaseState) pushDeltas(deltas map[int64]delta) error {
 	}
 	recv, err := c.Alltoall(send)
 	if err != nil {
-		return err
+		return fmt.Errorf("core: community delta push: %w", err)
 	}
 	for q := 0; q < p; q++ {
 		d := mpi.NewDecoder(recv[q])
@@ -478,7 +478,7 @@ func (st *phaseState) modularityAndMoves(localMoves int64) (float64, int64, erro
 	out, err := st.dg.Comm.AllreduceFloat64s([]float64{eSum, aSq, float64(localMoves)}, mpi.OpSum)
 	st.steps.Allreduce += time.Since(ta)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, fmt.Errorf("core: modularity allreduce: %w", err)
 	}
 	moves := int64(out[2])
 	m2 := st.dg.M2

@@ -1,6 +1,9 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Comm is a communicator: a transport endpoint plus collective operations
 // and traffic accounting. It corresponds to MPI_COMM_WORLD in the paper's
@@ -14,6 +17,15 @@ type Comm struct {
 	size  int
 	stats Stats
 
+	// recvTimeout / collTimeout bound each blocking receive of user Recv
+	// calls and of collective internals respectively. Zero (the default)
+	// means wait forever, matching MPI semantics; setting them makes a
+	// world whose transport cannot detect peer death (e.g. the in-process
+	// one, or a network partition that keeps connections open) fail fast
+	// instead of hanging.
+	recvTimeout time.Duration
+	collTimeout time.Duration
+
 	// collSeq numbers collective operations. Because every rank executes
 	// the same collective sequence (SPMD), equal sequence numbers identify
 	// the same logical operation, which keeps back-to-back collectives of
@@ -21,9 +33,31 @@ type Comm struct {
 	collSeq uint64
 }
 
+// CommOption configures a communicator at construction.
+type CommOption func(*Comm)
+
+// WithRecvTimeout bounds every application Recv: if no matching message
+// arrives within d, Recv fails with an error wrapping
+// os.ErrDeadlineExceeded. d <= 0 disables the bound (the default).
+func WithRecvTimeout(d time.Duration) CommOption {
+	return func(c *Comm) { c.recvTimeout = d }
+}
+
+// WithCollectiveTimeout bounds each internal receive of the collective
+// operations (Barrier, Bcast, Allreduce, …): a peer that never sends its
+// round message makes the collective fail within d instead of deadlocking
+// the world. d <= 0 disables the bound (the default).
+func WithCollectiveTimeout(d time.Duration) CommOption {
+	return func(c *Comm) { c.collTimeout = d }
+}
+
 // NewComm wraps a transport endpoint.
-func NewComm(t Transport) *Comm {
-	return &Comm{t: t, rank: t.Rank(), size: t.Size()}
+func NewComm(t Transport, opts ...CommOption) *Comm {
+	c := &Comm{t: t, rank: t.Rank(), size: t.Size()}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Rank returns this communicator's rank.
@@ -50,9 +84,10 @@ func (c *Comm) Send(to, tag int, data []byte) error {
 }
 
 // Recv blocks for a message matching (from, tag); from may be AnySource,
-// tag may be AnyTag (application tags only).
+// tag may be AnyTag (application tags only). With WithRecvTimeout set, the
+// wait is bounded.
 func (c *Comm) Recv(from, tag int) (Message, error) {
-	msg, err := c.t.Recv(from, tag)
+	msg, err := c.t.RecvTimeout(from, tag, c.recvTimeout)
 	if err != nil {
 		return msg, err
 	}
@@ -105,5 +140,5 @@ func (c *Comm) collSend(to, tag int, data []byte) error {
 }
 
 func (c *Comm) collRecv(from, tag int) (Message, error) {
-	return c.t.Recv(from, tag)
+	return c.t.RecvTimeout(from, tag, c.collTimeout)
 }

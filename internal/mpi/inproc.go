@@ -1,6 +1,9 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // InprocWorld is a set of in-process transport endpoints, one per rank.
 // Ranks are expected to run on separate goroutines; the endpoints are safe
@@ -62,12 +65,16 @@ func (e *inprocEndpoint) Send(to, tag int, data []byte) error {
 }
 
 func (e *inprocEndpoint) Recv(from, tag int) (Message, error) {
+	return e.RecvTimeout(from, tag, 0)
+}
+
+func (e *inprocEndpoint) RecvTimeout(from, tag int, timeout time.Duration) (Message, error) {
 	if from != AnySource {
 		if err := checkPeer(from, e.world.size, "Recv"); err != nil {
 			return Message{}, err
 		}
 	}
-	return e.world.queues[e.rank].pop(from, tag)
+	return e.world.queues[e.rank].pop(from, tag, timeout)
 }
 
 func (e *inprocEndpoint) Close() error {

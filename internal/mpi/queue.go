@@ -1,14 +1,31 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // matchQueue is an unbounded mailbox with MPI-style (source, tag) matching.
 // Both the in-process and TCP transports deliver into one matchQueue per
 // receiving rank.
+//
+// A queue can be shut down two ways: close() is the orderly path (pop fails
+// with ErrClosed once drained of matches), and fail() records a terminal
+// error — typically an *ErrPeerLost — that every pending and future pop
+// without a matching message returns. Messages that arrived before the
+// failure are still delivered: TCP ordering guarantees everything a peer
+// sent before dying was pushed before the failure was observed, so completed
+// communication is never retroactively invalidated.
+// A third, softer state tracks graceful departures: a peer that announced
+// shutdown (goodbye frame) has, by TCP ordering, already delivered all of
+// its messages, so only receives that target that peer specifically — which
+// can never be satisfied again — fail; receives from other sources proceed.
 type matchQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	msgs   []Message // pending messages in arrival order
+	msgs   []Message     // pending messages in arrival order
+	err    error         // terminal failure; nil while healthy
+	gone   map[int]error // peers that departed gracefully
 	closed bool
 }
 
@@ -25,6 +42,9 @@ func (q *matchQueue) push(msg Message) error {
 	if q.closed {
 		return ErrClosed
 	}
+	if q.err != nil {
+		return q.err
+	}
 	q.msgs = append(q.msgs, msg)
 	q.cond.Broadcast()
 	return nil
@@ -33,7 +53,24 @@ func (q *matchQueue) push(msg Message) error {
 // pop blocks until a message matching (from, tag) is pending, removes the
 // earliest such message, and returns it. Matching respects MPI ordering:
 // messages from one sender with one tag are matched in arrival order.
-func (q *matchQueue) pop(from, tag int) (Message, error) {
+//
+// timeout > 0 bounds the wait; expiry returns an error wrapping
+// os.ErrDeadlineExceeded. A recorded failure takes effect as soon as no
+// matching message is pending.
+func (q *matchQueue) pop(from, tag int, timeout time.Duration) (Message, error) {
+	var deadline time.Time
+	var timer *time.Timer
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// The timer only wakes the waiters; the loop below re-checks the
+		// clock itself, so a spurious broadcast is harmless.
+		timer = time.AfterFunc(timeout, func() {
+			q.mu.Lock()
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
@@ -43,11 +80,52 @@ func (q *matchQueue) pop(from, tag int) (Message, error) {
 				return m, nil
 			}
 		}
+		if q.err != nil {
+			return Message{}, q.err
+		}
+		if from != AnySource {
+			if derr, gone := q.gone[from]; gone {
+				return Message{}, derr
+			}
+		}
 		if q.closed {
 			return Message{}, ErrClosed
 		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return Message{}, errTimeout("Recv", from, tag, timeout)
+		}
 		q.cond.Wait()
 	}
+}
+
+// fail records a terminal error and wakes all waiters. The first failure
+// wins; later calls (and calls after close) are no-ops, so shutdown races
+// between multiple read loops are benign.
+func (q *matchQueue) fail(err error) {
+	if err == nil {
+		return
+	}
+	q.mu.Lock()
+	if q.err == nil && !q.closed {
+		q.err = err
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// depart records a peer's graceful shutdown and wakes waiters so blocked
+// pops targeting that peer can fail. Unlike fail, it does not poison the
+// queue: messages from other peers keep flowing.
+func (q *matchQueue) depart(peer int, err error) {
+	q.mu.Lock()
+	if q.gone == nil {
+		q.gone = make(map[int]error)
+	}
+	if _, dup := q.gone[peer]; !dup {
+		q.gone[peer] = err
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
 }
 
 // close wakes all waiters with ErrClosed and rejects future pushes.

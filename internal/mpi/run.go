@@ -11,8 +11,10 @@ import (
 // unblock) or nil when every rank succeeds.
 //
 // This is the single-binary analogue of "mpirun -np size": tests, examples
-// and benchmarks drive the distributed algorithm through it.
-func Run(size int, body func(c *Comm) error) error {
+// and benchmarks drive the distributed algorithm through it. opts (e.g.
+// WithRecvTimeout, WithCollectiveTimeout) apply to every rank's
+// communicator.
+func Run(size int, body func(c *Comm) error, opts ...CommOption) error {
 	world, err := NewInprocWorld(size)
 	if err != nil {
 		return err
@@ -31,7 +33,7 @@ func Run(size int, body func(c *Comm) error) error {
 					world.Close() // unblock peers stuck in Recv
 				}
 			}()
-			c := NewComm(world.Endpoint(r))
+			c := NewComm(world.Endpoint(r), opts...)
 			if err := body(c); err != nil {
 				errs[r] = err
 				world.Close()
@@ -50,7 +52,7 @@ func Run(size int, body func(c *Comm) error) error {
 
 // RunCollect is Run for programs that produce a per-rank result. results[r]
 // holds rank r's value when the error is nil.
-func RunCollect[T any](size int, body func(c *Comm) (T, error)) ([]T, error) {
+func RunCollect[T any](size int, body func(c *Comm) (T, error), opts ...CommOption) ([]T, error) {
 	results := make([]T, size)
 	err := Run(size, func(c *Comm) error {
 		v, err := body(c)
@@ -59,7 +61,7 @@ func RunCollect[T any](size int, body func(c *Comm) (T, error)) ([]T, error) {
 		}
 		results[c.Rank()] = v
 		return nil
-	})
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}

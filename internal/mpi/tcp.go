@@ -19,6 +19,15 @@ const tcpHeaderSize = 8
 // prefixes; 1 GiB is far above anything the Louvain exchanges produce.
 const maxTCPFrame = 1 << 30
 
+// goodbyeTag marks the control frame an orderly Close sends as its last
+// word on every connection. Application tags are non-negative and the
+// collective tags are positive, so the value cannot collide with data. A
+// peer whose stream ends after a goodbye departed gracefully (all of its
+// messages were delivered first — TCP ordering); a stream that ends without
+// one belongs to a crashed or killed peer and poisons the endpoint with
+// ErrPeerLost.
+const goodbyeTag = -2
+
 // TCPWorldConfig describes a TCP world. Addrs[i] is the listen address of
 // rank i ("host:port"); every rank must use the same list in the same order.
 type TCPWorldConfig struct {
@@ -46,55 +55,114 @@ type tcpEndpoint struct {
 
 // tcpWriter serializes frames onto one connection from a queue drained by a
 // dedicated goroutine, keeping Send non-blocking as the Transport contract
-// requires.
+// requires. When the goroutine dies on a write error it records the cause
+// and closes done, so enqueue fails fast instead of filling the channel and
+// blocking the sender forever.
 type tcpWriter struct {
 	conn net.Conn
-	ch   chan []byte // fully framed messages
-	done chan struct{}
-	errs chan error
+	ch   chan []byte   // fully framed messages; never closed (see below)
+	stop chan struct{} // closed by close(): drain buffered frames and exit
+	done chan struct{} // closed after err is set (or on clean drain)
+	err  error         // write failure; read only after <-done
 }
 
-func newTCPWriter(conn net.Conn) *tcpWriter {
-	w := &tcpWriter{conn: conn, ch: make(chan []byte, 1024), done: make(chan struct{}), errs: make(chan error, 1)}
+// newTCPWriter starts the drain goroutine. onError, if non-nil, is invoked
+// once with the write error so the endpoint can mark the peer lost.
+//
+// The frame channel is deliberately never closed: concurrent senders (the
+// Transport contract allows point-to-point calls from multiple goroutines,
+// and fault-injected delayed deliveries arrive from timers) would race a
+// close with a send. Shutdown is signalled through stop instead, and the
+// goroutine drains whatever is already buffered before exiting so a
+// goodbye frame enqueued just before close() still reaches the wire.
+func newTCPWriter(conn net.Conn, onError func(error)) *tcpWriter {
+	w := &tcpWriter{
+		conn: conn,
+		ch:   make(chan []byte, 1024),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
 	go func() {
 		bw := bufio.NewWriterSize(conn, 1<<16)
-		for frame := range w.ch {
+		write := func(frame []byte) bool {
 			if _, err := bw.Write(frame); err != nil {
-				select {
-				case w.errs <- err:
-				default:
-				}
-				break
+				w.fail(err, onError)
+				return false
 			}
-			// Flush when no more frames are immediately pending so that
-			// small control messages are not delayed behind the buffer.
-			if len(w.ch) == 0 {
-				if err := bw.Flush(); err != nil {
-					select {
-					case w.errs <- err:
-					default:
+			return true
+		}
+		for {
+			select {
+			case frame := <-w.ch:
+				if !write(frame) {
+					return
+				}
+				// Flush when no more frames are immediately pending so
+				// that small control messages are not delayed behind the
+				// buffer.
+				if len(w.ch) == 0 {
+					if err := bw.Flush(); err != nil {
+						w.fail(err, onError)
+						return
 					}
-					break
+				}
+			case <-w.stop:
+				for {
+					select {
+					case frame := <-w.ch:
+						if !write(frame) {
+							return
+						}
+					default:
+						if err := bw.Flush(); err != nil {
+							w.fail(err, onError)
+							return
+						}
+						close(w.done)
+						return
+					}
 				}
 			}
 		}
-		close(w.done)
 	}()
 	return w
 }
 
+func (w *tcpWriter) fail(err error, onError func(error)) {
+	w.err = err
+	close(w.done)
+	if onError != nil {
+		onError(err)
+	}
+}
+
+// failure reports why the writer stopped; call only after done is closed.
+func (w *tcpWriter) failure() error {
+	if w.err != nil {
+		return fmt.Errorf("mpi: tcp write: %w", w.err)
+	}
+	return ErrClosed
+}
+
+// enqueue hands a frame to the drain goroutine. It never blocks on a dead
+// writer: once the goroutine has exited, every call — including ones that
+// would previously have parked on a full channel — returns the write error.
 func (w *tcpWriter) enqueue(frame []byte) error {
 	select {
-	case err := <-w.errs:
-		return fmt.Errorf("mpi: tcp write: %w", err)
+	case <-w.done:
+		return w.failure()
 	default:
 	}
-	w.ch <- frame
-	return nil
+	select {
+	case w.ch <- frame:
+		return nil
+	case <-w.done:
+		return w.failure()
+	}
 }
 
 func (w *tcpWriter) close() {
-	close(w.ch)
+	close(w.stop)
 	<-w.done
 	w.conn.Close()
 }
@@ -140,27 +208,42 @@ func DialTCPWorld(cfg TCPWorldConfig) (Transport, error) {
 		conn net.Conn
 		err  error
 	}
+	// Exactly size-1 results are always delivered: the accept goroutine
+	// reports every slot (continuing past per-connection handshake errors)
+	// and each dial goroutine reports its own. That fixed count is what lets
+	// the error path below drain and close stragglers instead of leaking
+	// connections delivered after an early return.
 	results := make(chan dialed, size)
 
-	// Accept from higher-ranked peers.
+	// Accept from higher-ranked peers. The listener deadline makes a rank
+	// that never starts a rendezvous error instead of an eternal Accept.
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now().Add(deadline))
+	}
 	nAccept := size - 1 - cfg.Rank
 	go func() {
 		for i := 0; i < nAccept; i++ {
 			conn, err := ln.Accept()
 			if err != nil {
-				results <- dialed{err: fmt.Errorf("mpi: rank %d accept: %w", cfg.Rank, err)}
+				// Listener broken (or closed by the error path); no more
+				// connections are coming — report every remaining slot.
+				for ; i < nAccept; i++ {
+					results <- dialed{err: fmt.Errorf("mpi: rank %d accept: %w", cfg.Rank, err)}
+				}
 				return
 			}
 			// Handshake: the dialer announces its rank.
 			var hs [4]byte
 			if _, err := io.ReadFull(conn, hs[:]); err != nil {
+				conn.Close()
 				results <- dialed{err: fmt.Errorf("mpi: rank %d handshake read: %w", cfg.Rank, err)}
-				return
+				continue
 			}
 			peer := int(int32(binary.LittleEndian.Uint32(hs[:])))
 			if peer <= cfg.Rank || peer >= size {
+				conn.Close()
 				results <- dialed{err: fmt.Errorf("mpi: rank %d unexpected handshake from rank %d", cfg.Rank, peer)}
-				return
+				continue
 			}
 			results <- dialed{peer: peer, conn: conn}
 		}
@@ -194,37 +277,100 @@ func DialTCPWorld(cfg TCPWorldConfig) (Transport, error) {
 	for i := 0; i < need; i++ {
 		d := <-results
 		if d.err != nil {
-			ep.Close()
+			ep.Close() // also closes the listener, unblocking the acceptor
+			go func(remaining int) {
+				for j := 0; j < remaining; j++ {
+					if r := <-results; r.conn != nil {
+						r.conn.Close()
+					}
+				}
+			}(need - 1 - i)
 			return nil, d.err
+		}
+		if d.conn == nil || ep.writers[d.peer] != nil {
+			// Duplicate or bogus slot — treat as a protocol failure rather
+			// than silently overwriting an established connection.
+			if d.conn != nil {
+				d.conn.Close()
+			}
+			ep.Close()
+			go func(remaining int) {
+				for j := 0; j < remaining; j++ {
+					if r := <-results; r.conn != nil {
+						r.conn.Close()
+					}
+				}
+			}(need - 1 - i)
+			return nil, fmt.Errorf("mpi: rank %d duplicate rendezvous with rank %d", cfg.Rank, d.peer)
 		}
 		if tc, ok := d.conn.(*net.TCPConn); ok {
 			tc.SetNoDelay(true)
 		}
-		ep.writers[d.peer] = newTCPWriter(d.conn)
+		peer := d.peer
+		ep.writers[peer] = newTCPWriter(d.conn, func(err error) {
+			ep.peerLost(peer, err)
+		})
 		ep.wg.Add(1)
-		go ep.readLoop(d.peer, d.conn)
+		go ep.readLoop(peer, d.conn)
 	}
 	return ep, nil
 }
 
+// peerLost records a terminal peer failure: every pending and future Recv on
+// this endpoint that cannot be satisfied from already-delivered messages
+// fails with *ErrPeerLost. During an orderly Close the peer's disconnect is
+// expected, so it is not recorded.
+func (e *tcpEndpoint) peerLost(peer int, cause error) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	e.queue.fail(&ErrPeerLost{Peer: peer, Cause: cause})
+}
+
 // readLoop parses frames from one peer connection into the match queue.
+// An exit without a preceding goodbye frame while the endpoint is still
+// live — connection reset, short read, corrupt or oversized frame — is a
+// peer loss and poisons the queue with the recorded cause instead of being
+// silently dropped.
 func (e *tcpEndpoint) readLoop(peer int, conn net.Conn) {
 	defer e.wg.Done()
 	br := bufio.NewReaderSize(conn, 1<<16)
 	var hdr [tcpHeaderSize]byte
+	departed := false
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if departed {
+				return // orderly shutdown already recorded
+			}
+			if err == io.EOF {
+				err = fmt.Errorf("connection closed without shutdown handshake: %w", err)
+			}
+			e.peerLost(peer, err)
 			return
 		}
 		tag := int(int32(binary.LittleEndian.Uint32(hdr[0:4])))
 		n := binary.LittleEndian.Uint32(hdr[4:8])
+		if tag == goodbyeTag && n == 0 {
+			departed = true
+			e.queue.depart(peer, &ErrPeerLost{Peer: peer, Cause: errDeparted})
+			continue
+		}
 		if n > maxTCPFrame {
+			e.peerLost(peer, fmt.Errorf("frame length %d exceeds limit %d (corrupt stream?)", n, maxTCPFrame))
+			return
+		}
+		if departed {
+			e.peerLost(peer, fmt.Errorf("data frame (tag %d) after shutdown handshake", tag))
 			return
 		}
 		var data []byte
 		if n > 0 {
 			data = make([]byte, n)
-			if _, err := io.ReadFull(br, data); err != nil {
+			if got, err := io.ReadFull(br, data); err != nil {
+				e.peerLost(peer, fmt.Errorf("truncated frame (%d of %d payload bytes): %w", got, n, err))
 				return
 			}
 		}
@@ -233,6 +379,9 @@ func (e *tcpEndpoint) readLoop(peer int, conn net.Conn) {
 		}
 	}
 }
+
+// errDeparted is the cause recorded for peers that shut down gracefully.
+var errDeparted = fmt.Errorf("peer endpoint closed (finished or shut down)")
 
 func (e *tcpEndpoint) Rank() int { return e.rank }
 func (e *tcpEndpoint) Size() int { return e.size }
@@ -261,15 +410,29 @@ func (e *tcpEndpoint) Send(to, tag int, data []byte) error {
 }
 
 func (e *tcpEndpoint) Recv(from, tag int) (Message, error) {
+	return e.RecvTimeout(from, tag, 0)
+}
+
+func (e *tcpEndpoint) RecvTimeout(from, tag int, timeout time.Duration) (Message, error) {
 	if from != AnySource {
 		if err := checkPeer(from, e.size, "Recv"); err != nil {
 			return Message{}, err
 		}
 	}
-	return e.queue.pop(from, tag)
+	return e.queue.pop(from, tag, timeout)
 }
 
-func (e *tcpEndpoint) Close() error {
+// Close shuts the endpoint down in an orderly fashion: a goodbye frame is
+// flushed to every peer before the connections close, so surviving ranks
+// can tell this departure from a crash.
+func (e *tcpEndpoint) Close() error { return e.shutdown(true) }
+
+// Abort closes the endpoint without the goodbye handshake, so peers observe
+// an unexplained stream end and fail with ErrPeerLost — the behaviour of a
+// crashed process. Fault injection (FaultTransport.Kill) uses it.
+func (e *tcpEndpoint) Abort() { e.shutdown(false) }
+
+func (e *tcpEndpoint) shutdown(goodbye bool) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -278,6 +441,16 @@ func (e *tcpEndpoint) Close() error {
 	e.closed = true
 	writers := e.writers
 	e.mu.Unlock()
+	if goodbye {
+		var frame [tcpHeaderSize]byte
+		tag := int32(goodbyeTag)
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(tag))
+		for _, w := range writers {
+			if w != nil {
+				w.enqueue(frame[:]) // best-effort; dead writers just error
+			}
+		}
+	}
 	for _, w := range writers {
 		if w != nil {
 			w.close()

@@ -25,6 +25,8 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"os"
+	"time"
 )
 
 // AnySource can be passed as the source rank of Recv to match a message from
@@ -42,6 +44,31 @@ const MaxUserTag = 1<<20 - 1
 // ErrClosed is returned by operations on a communicator whose transport has
 // been shut down.
 var ErrClosed = errors.New("mpi: transport closed")
+
+// ErrPeerLost is the terminal error of a communicator that has lost contact
+// with a peer: the connection reset, the stream ended while messages were
+// still expected, or the peer sent a malformed frame. Once a transport
+// records a peer loss, every pending and future Recv (and therefore every
+// collective) on that endpoint fails with it rather than blocking forever —
+// messages that had already arrived are still delivered first. Use
+// errors.As to recover the peer rank and cause.
+type ErrPeerLost struct {
+	Peer  int   // rank of the lost peer
+	Cause error // underlying I/O or protocol error
+}
+
+func (e *ErrPeerLost) Error() string {
+	return fmt.Sprintf("mpi: peer rank %d lost: %v", e.Peer, e.Cause)
+}
+
+func (e *ErrPeerLost) Unwrap() error { return e.Cause }
+
+// errTimeout builds the error of a receive that exceeded its deadline. It
+// wraps os.ErrDeadlineExceeded so callers can test with errors.Is.
+func errTimeout(op string, from, tag int, d time.Duration) error {
+	return fmt.Errorf("mpi: %s(from=%d, tag=%d): no matching message within %v: %w",
+		op, from, tag, d, os.ErrDeadlineExceeded)
+}
 
 // Message is a received point-to-point message.
 type Message struct {
@@ -66,6 +93,10 @@ type Transport interface {
 	// returns it. from may be AnySource and tag may be AnyTag. Messages
 	// from the same sender with the same tag are delivered in send order.
 	Recv(from, tag int) (Message, error)
+	// RecvTimeout is Recv with a per-call deadline: when no matching
+	// message arrives within timeout it returns an error wrapping
+	// os.ErrDeadlineExceeded. timeout <= 0 means no deadline (plain Recv).
+	RecvTimeout(from, tag int, timeout time.Duration) (Message, error)
 	// Close shuts the endpoint down. Blocked and future calls fail with
 	// ErrClosed.
 	Close() error
