@@ -31,11 +31,12 @@ test-race-all:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz passes over the input parsers.
+# Short fuzz passes over the input parsers and the checkpoint decoder.
 fuzz:
 	$(GO) test ./internal/gio -fuzz FuzzReadEdgeListText -fuzztime 30s
 	$(GO) test ./internal/gio -fuzz FuzzReadHeader -fuzztime 30s
 	$(GO) test ./internal/gio -fuzz FuzzGroundTruth -fuzztime 30s
+	$(GO) test ./internal/ckpt -fuzz FuzzReadSnapshot -fuzztime 30s
 
 # Regenerate every table and figure of the paper (text to stdout).
 experiments:

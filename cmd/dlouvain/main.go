@@ -19,9 +19,19 @@
 // Variants: baseline, tc (threshold cycling), et, etc, ettc (ET+TC); et,
 // etc and ettc require -alpha. Use -truth to score against a ground-truth
 // community file and -o to write the detected assignment.
+//
+// Checkpoint/restart: -ckpt-dir enables phase-boundary snapshots, -resume
+// continues from the latest committed checkpoint (the rank count may
+// differ), and a run that ends in a retryable failure (lost peer, expired
+// deadline) exits with code 3:
+//
+//	until dlouvain -np 8 -ckpt-dir ck -resume g.bin; do
+//	    [ $? -eq 3 ] || break
+//	done
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -57,6 +67,15 @@ func main() {
 		truthPath = flag.String("truth", "", "ground-truth file for quality scoring")
 		verbose   = flag.Bool("v", false, "per-phase progress output")
 
+		// Checkpoint/restart: with -ckpt-dir, every rank snapshots its
+		// state at phase boundaries; -resume continues from the latest
+		// committed checkpoint (possibly at a different -np). A run that
+		// ends in a retryable failure exits with code 3, so a wrapper can
+		// loop `dlouvain -resume` until success.
+		ckptDir   = flag.String("ckpt-dir", "", "checkpoint directory (enables phase-boundary snapshots)")
+		ckptEvery = flag.Int("ckpt-every", 1, "snapshot after every k-th completed phase")
+		resume    = flag.Bool("resume", false, "resume from the checkpoint in -ckpt-dir")
+
 		// Failure-semantics knobs: deadlines turn a dead or partitioned
 		// peer into an error instead of a hang; the fault-* flags inject
 		// transport faults for chaos testing (tcp transport only).
@@ -74,6 +93,10 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "dlouvain: -resume requires -ckpt-dir")
+		os.Exit(2)
+	}
 	path := flag.Arg(0)
 
 	cfg, err := buildConfig(*variant, *alpha)
@@ -87,6 +110,8 @@ func main() {
 	cfg.UseNeighborCollectives = *neighbor
 	cfg.UseColoring = *coloring
 	cfg.GatherOutput = true
+	cfg.CheckpointDir = *ckptDir
+	cfg.CheckpointEvery = *ckptEvery
 
 	hdr, err := gio.ReadHeader(path)
 	if err != nil {
@@ -107,13 +132,13 @@ func main() {
 
 	switch *transport {
 	case "inproc":
-		runInproc(path, hdr, *np, cfg, *edgeBal, *outPath, *truthPath, *verbose, commOpts)
+		runInproc(path, hdr, *np, cfg, *edgeBal, *resume, *outPath, *truthPath, *verbose, commOpts)
 	case "tcp":
 		addrs := strings.Split(*hosts, ",")
 		if len(addrs) < 1 || *hosts == "" {
 			fatalf("tcp transport needs -hosts")
 		}
-		runTCP(path, hdr, *rank, addrs, cfg, *edgeBal, *outPath, *truthPath, *verbose, commOpts, fault)
+		runTCP(path, hdr, *rank, addrs, cfg, *edgeBal, *resume, *outPath, *truthPath, *verbose, commOpts, fault)
 	case "tcp-local":
 		launchLocalTCP(*np)
 	default:
@@ -170,14 +195,28 @@ func launchLocalTCP(np int) {
 		}
 		cmds[r] = cmd
 	}
-	status := 0
+	// Aggregate child statuses: when every failure is retryable (code 3),
+	// the whole world's failure is retryable — a wrapper may relaunch with
+	// -resume; any other failure is fatal.
+	failed, retryable := 0, 0
 	for r, cmd := range cmds {
 		if err := cmd.Wait(); err != nil {
 			fmt.Fprintf(os.Stderr, "dlouvain: rank %d: %v\n", r, err)
-			status = 1
+			failed++
+			var ee *exec.ExitError
+			if errors.As(err, &ee) && ee.ExitCode() == exitRetryable {
+				retryable++
+			}
 		}
 	}
-	os.Exit(status)
+	switch {
+	case failed == 0:
+		os.Exit(0)
+	case retryable == failed:
+		os.Exit(exitRetryable)
+	default:
+		os.Exit(1)
+	}
 }
 
 func buildConfig(variant string, alpha float64) (core.Config, error) {
@@ -197,31 +236,42 @@ func buildConfig(variant string, alpha float64) (core.Config, error) {
 	}
 }
 
-func rankBody(path string, hdr gio.Header, cfg core.Config, edgeBal, verbose bool) func(c *mpi.Comm) (*core.Result, error) {
+func rankBody(path string, hdr gio.Header, cfg core.Config, edgeBal, resume, verbose bool) func(c *mpi.Comm) (*core.Result, error) {
 	return func(c *mpi.Comm) (*core.Result, error) {
-		ioStart := time.Now()
-		chunk, err := gio.ReadSegment(path, c.Rank(), c.Size())
-		if err != nil {
-			return nil, err
-		}
-		ioDur := time.Since(ioStart)
-		var part *partition.Partition
-		if edgeBal {
-			part, err = dgraph.EdgeBalancedPartition(c, hdr.Vertices, chunk)
+		var res *core.Result
+		if resume {
+			var err error
+			res, err = core.Resume(c, cfg.CheckpointDir, cfg)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			ioStart := time.Now()
+			chunk, err := gio.ReadSegment(path, c.Rank(), c.Size())
+			if err != nil {
+				return nil, err
+			}
+			ioDur := time.Since(ioStart)
+			var part *partition.Partition
+			if edgeBal {
+				part, err = dgraph.EdgeBalancedPartition(c, hdr.Vertices, chunk)
+				if err != nil {
+					return nil, err
+				}
+			}
+			dg, err := dgraph.Build(c, hdr.Vertices, chunk, part)
+			if err != nil {
+				return nil, err
+			}
+			if c.Rank() == 0 && verbose {
+				fmt.Fprintf(os.Stderr, "rank 0: read %d edges in %v\n", len(chunk), ioDur)
+			}
+			res, err = core.Run(dg, cfg)
 			if err != nil {
 				return nil, err
 			}
 		}
-		dg, err := dgraph.Build(c, hdr.Vertices, chunk, part)
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.Run(dg, cfg)
-		if err != nil {
-			return nil, err
-		}
 		if c.Rank() == 0 && verbose {
-			fmt.Fprintf(os.Stderr, "rank 0: read %d edges in %v\n", len(chunk), ioDur)
 			for i, ph := range res.Phases {
 				fmt.Fprintf(os.Stderr, "phase %d: |V|=%d iters=%d Q=%.6f tau=%.0e exit=%s\n",
 					i, ph.Vertices, ph.Iterations, ph.Modularity, ph.Tau, ph.Exit)
@@ -231,8 +281,8 @@ func rankBody(path string, hdr gio.Header, cfg core.Config, edgeBal, verbose boo
 	}
 }
 
-func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption) {
-	body := rankBody(path, hdr, cfg, edgeBal, verbose)
+func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption) {
+	body := rankBody(path, hdr, cfg, edgeBal, resume, verbose)
 	var root *core.Result
 	err := mpi.Run(np, func(c *mpi.Comm) error {
 		res, err := body(c)
@@ -245,12 +295,12 @@ func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal boo
 		return nil
 	}, commOpts...)
 	if err != nil {
-		fatalf("%v", err)
+		runFailf(err, "%v", err)
 	}
 	report(root, hdr, cfg, np, outPath, truthPath)
 }
 
-func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Config, edgeBal bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption, fault mpi.FaultPlan) {
+func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption, fault mpi.FaultPlan) {
 	tp, err := mpi.DialTCPWorld(mpi.TCPWorldConfig{Rank: rank, Addrs: addrs})
 	if err != nil {
 		fatalf("%v", err)
@@ -261,9 +311,9 @@ func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Conf
 	}
 	defer tp.Close()
 	c := mpi.NewComm(tp, commOpts...)
-	res, err := rankBody(path, hdr, cfg, edgeBal, verbose)(c)
+	res, err := rankBody(path, hdr, cfg, edgeBal, resume, verbose)(c)
 	if err != nil {
-		fatalf("rank %d: %v", rank, err)
+		runFailf(err, "rank %d: %v", rank, err)
 	}
 	if rank == 0 {
 		report(res, hdr, cfg, len(addrs), outPath, truthPath)
@@ -299,6 +349,29 @@ func report(res *core.Result, hdr gio.Header, cfg core.Config, np int, outPath, 
 		fmt.Printf("quality vs ground truth: precision=%.4f recall=%.4f f-score=%.4f nmi=%.4f ari=%.4f\n",
 			score.Precision, score.Recall, score.FScore, score.NMI, score.ARI)
 	}
+}
+
+// Exit codes: 0 success, 1 fatal error, 2 usage, 3 retryable run failure
+// (lost peer, expired collective deadline, injected kill) — a restart
+// wrapper can loop `dlouvain -resume` while the code is 3.
+const exitRetryable = 3
+
+// exitCodeFor classifies a run error for the process exit status.
+func exitCodeFor(err error) int {
+	if err == nil {
+		return 0
+	}
+	var pl *mpi.ErrPeerLost
+	if errors.As(err, &pl) || errors.Is(err, mpi.ErrKilled) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return exitRetryable
+	}
+	return 1
+}
+
+// runFailf reports a failed run and exits with its classified code.
+func runFailf(err error, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dlouvain: "+format+"\n", args...)
+	os.Exit(exitCodeFor(err))
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -1,6 +1,34 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"distlouvain/internal/mpi"
+)
+
+func TestExitCodeFor(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"plain", errors.New("boom"), 1},
+		{"peer lost", &mpi.ErrPeerLost{Peer: 2, Cause: errors.New("eof")}, 3},
+		{"wrapped peer lost", fmt.Errorf("rank 1: %w", &mpi.ErrPeerLost{Peer: 0, Cause: errors.New("eof")}), 3},
+		{"killed", fmt.Errorf("send: %w", mpi.ErrKilled), 3},
+		{"deadline", fmt.Errorf("collective: %w", os.ErrDeadlineExceeded), 3},
+		{"usage-ish fatal", fmt.Errorf("bad graph header"), 1},
+	}
+	for _, c := range cases {
+		if got := exitCodeFor(c.err); got != c.want {
+			t.Errorf("%s: exitCodeFor = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
 
 func TestBuildConfig(t *testing.T) {
 	cases := []struct {

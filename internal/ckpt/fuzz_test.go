@@ -1,0 +1,44 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSnapshot drives the snapshot decoder with arbitrary bytes. The
+// decoder must never panic, and anything it accepts must re-encode to a
+// byte-identical image (so a "successful" read can never smuggle corrupted
+// state into a resumed run).
+func FuzzReadSnapshot(f *testing.F) {
+	empty, _ := EncodeSnapshot(nil)
+	f.Add(empty)
+	one, _ := EncodeSnapshot([]Section{{Name: "meta", Data: []byte{1, 2, 3}}})
+	f.Add(one)
+	many, _ := EncodeSnapshot([]Section{
+		{Name: "meta", Data: bytes.Repeat([]byte{7}, 64)},
+		{Name: "csr", Data: []byte("index+edges")},
+		{Name: "origcomm", Data: nil},
+	})
+	f.Add(many)
+	// Corrupt variants seed the interesting rejection paths.
+	trunc := make([]byte, len(many)-5)
+	copy(trunc, many)
+	f.Add(trunc)
+	flip := bytes.Clone(many)
+	flip[len(flip)/2] ^= 0x10
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot("fuzz", data)
+		if err != nil {
+			return // rejected is always acceptable
+		}
+		re, err := EncodeSnapshot(snap.Sections())
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted snapshot is not canonical: %d bytes in, %d bytes re-encoded", len(data), len(re))
+		}
+	})
+}

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"distlouvain/internal/mpi"
@@ -85,6 +86,18 @@ type Config struct {
 	// GatherOutput assembles the full community assignment at rank 0
 	// (Result.GlobalComm), as the paper's quality-assessment mode does.
 	GatherOutput bool
+
+	// CheckpointDir enables phase-boundary snapshots: after coarsening,
+	// every rank writes its state (coarse CSR + ghost tables, cumulative
+	// original-vertex assignment, driver position, phase history) under
+	// this directory and rank 0 commits a manifest once all ranks have
+	// landed. Resume continues such a run — at the same or a different
+	// rank count. Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery snapshots after every k-th completed phase (≤0
+	// selects 1, i.e. every phase). Later phases run on ever-smaller
+	// coarse graphs, so frequent snapshots get cheaper as the run ages.
+	CheckpointEvery int
 }
 
 func (c *Config) fill() {
@@ -100,6 +113,23 @@ func (c *Config) fill() {
 	if c.ETCExit <= 0 {
 		c.ETCExit = DefaultETCExit
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+}
+
+// Hash fingerprints the trajectory-determining parameters. A checkpoint is
+// only valid for the exact move sequence its configuration produces, so the
+// manifest records this hash and Resume refuses a mismatch. Deliberately
+// excluded: Threads, SendChangedOnly, UseNeighborCollectives, GatherOutput
+// and the checkpoint settings themselves — they change performance or
+// output plumbing, never the result, so a resume may alter them freely.
+func (c Config) Hash() string {
+	c.fill() // value receiver: canonicalize defaults without mutating the caller
+	h := fnv.New64a()
+	fmt.Fprintf(h, "tau=%v;sched=%v;alpha=%v;etc=%v;etcexit=%v;maxphases=%d;maxiter=%d;seed=%d;coloring=%v",
+		c.Tau, c.TauSchedule, c.Alpha, c.ETC, c.ETCExit, c.MaxPhases, c.MaxIterations, c.Seed, c.UseColoring)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // PaperTauSchedule is the Fig. 2 cycling schedule: τ = 10⁻³ for 3 phases,

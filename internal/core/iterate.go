@@ -278,11 +278,10 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 			}
 		}
 
-		// (i) refresh ghost vertex communities.
-		if err := st.exchangeGhostComm(); err != nil {
-			return stat, err
-		}
 		// (ii-prep) pull (A_c, size) for referenced remote communities.
+		// Ghost communities already reflect the previous iteration's moves:
+		// the identity assignment needs no exchange (§IV-A) and every
+		// completed iteration ends with one.
 		if err := st.fetchCommunityInfo(); err != nil {
 			return stat, err
 		}
@@ -298,6 +297,17 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 		}
 		deltas := st.applyMoves(moves)
 		if err := st.pushDeltas(deltas); err != nil {
+			return stat, err
+		}
+		// (i') refresh ghost vertex communities with this iteration's moves.
+		// Exchanging here instead of at the loop top gives the next sweep
+		// the same post-previous-iteration view it always had, but lets the
+		// modularity below see consistent (post-move) assignments on BOTH
+		// endpoints of cross-rank edges. That makes Q exact — and, for
+		// integer edge weights, independent of the vertex partition, which
+		// is what lets a checkpoint resumed on a different rank count
+		// retrace the original trajectory bit for bit.
+		if err := st.exchangeGhostComm(); err != nil {
 			return stat, err
 		}
 

@@ -11,6 +11,25 @@ import (
 	"distlouvain/internal/mpi"
 )
 
+// runState is the complete driver position of a multi-phase run between
+// phases: exactly what a phase-boundary checkpoint captures and what Resume
+// reconstructs. res.LocalComm doubles as the cumulative original-vertex →
+// current-community mapping (origComm); it is remapped every rebuild.
+type runState struct {
+	comm *mpi.Comm
+	cfg  *Config
+
+	cur   *dgraph.DistGraph // current (coarsened) graph
+	origN int64             // vertex count of the original input graph
+	res   *Result           // accumulating result; LocalComm is origComm
+
+	phase       int     // next phase index to execute
+	prevQ       float64 // modularity after the last completed phase
+	forcedFinal bool    // TC: the forced lowest-threshold pass has been entered
+
+	steps *StepTimes
+}
+
 // Run executes the multi-phase distributed Louvain method (Algorithm 2) on
 // the rank's share of the distributed graph. Every rank of dg.Comm must
 // call Run with an identical Config.
@@ -18,35 +37,48 @@ import (
 // The returned assignment labels are dense global community IDs in
 // [0, Communities); Result.LocalComm indexes them by original local vertex.
 func Run(dg *dgraph.DistGraph, cfg Config) (*Result, error) {
-	start := time.Now()
 	cfg.fill()
-	c := dg.Comm
-	trafficStart := c.Stats().Snapshot()
-
 	res := &Result{
 		LocalBase: dg.Base,
 		LocalComm: make([]int64, dg.LocalN),
 	}
-	// origComm[i] is the current-space community of original vertex
-	// Base+i; it starts as the identity and is remapped every rebuild.
-	origComm := res.LocalComm
-	for i := range origComm {
-		origComm[i] = dg.Base + int64(i)
+	// origComm starts as the identity: every original vertex is its own
+	// community in the phase-0 graph.
+	for i := range res.LocalComm {
+		res.LocalComm[i] = dg.Base + int64(i)
 	}
+	rs := &runState{
+		comm:  dg.Comm,
+		cfg:   &cfg,
+		cur:   dg,
+		origN: dg.GlobalN,
+		res:   res,
+		prevQ: math.Inf(-1),
+		steps: &StepTimes{},
+	}
+	return rs.runLoop()
+}
 
-	steps := &StepTimes{}
-	cur := dg
-	prevQ := math.Inf(-1)
+// runLoop drives phases from rs.phase until convergence. It is the shared
+// tail of Run (which starts at phase 0 on the input graph) and Resume
+// (which starts mid-run from checkpointed state).
+func (rs *runState) runLoop() (*Result, error) {
+	start := time.Now()
+	cfg := rs.cfg
+	c := rs.comm
+	res := rs.res
+	trafficStart := c.Stats().Snapshot()
+	origComm := res.LocalComm
 	finalTau := cfg.Tau
-	forcedFinal := false
 
-	for phase := 0; phase < cfg.MaxPhases; phase++ {
+	for ; rs.phase < cfg.MaxPhases; rs.phase++ {
+		phase := rs.phase
 		tau := finalTau
-		if len(cfg.TauSchedule) > 0 && !forcedFinal {
+		if len(cfg.TauSchedule) > 0 && !rs.forcedFinal {
 			tau = cfg.TauSchedule[phase%len(cfg.TauSchedule)]
 		}
 
-		st, err := newPhaseState(cur, &cfg, phase, steps)
+		st, err := newPhaseState(rs.cur, cfg, phase, rs.steps)
 		if err != nil {
 			return nil, fmt.Errorf("phase %d setup: %w", phase, err)
 		}
@@ -78,73 +110,83 @@ func Run(dg *dgraph.DistGraph, cfg Config) (*Result, error) {
 			origComm[i] = oldToNew[cid]
 		}
 		res.Communities = ndg.GlobalN
-		noCompaction := ndg.GlobalN == cur.GlobalN
-		cur = ndg
+		noCompaction := ndg.GlobalN == rs.cur.GlobalN
+		rs.cur = ndg
 
-		gain := stat.Modularity - prevQ
-		prevQ = stat.Modularity
+		gain := stat.Modularity - rs.prevQ
+		rs.prevQ = stat.Modularity
+		stop := false
 		if gain <= finalTau {
-			if len(cfg.TauSchedule) > 0 && tau > finalTau && !forcedFinal {
+			if len(cfg.TauSchedule) > 0 && tau > finalTau && !rs.forcedFinal {
 				// Converged under a cycled (coarser) threshold: force one
 				// more pass at the lowest threshold to secure quality
 				// (§V-C a).
-				forcedFinal = true
-				continue
+				rs.forcedFinal = true
+			} else {
+				stop = true
 			}
+		} else if stat.Exit != ExitETC && noCompaction {
+			// ETC terminated the phase by inactivity rather than τ; give
+			// the next phase a chance even without compaction. Otherwise a
+			// non-compacting phase means a fixed point.
+			stop = true
+		}
+		if stop {
 			break
 		}
-		if stat.Exit == ExitETC {
-			// ETC terminated the phase by inactivity rather than τ;
-			// continue to the next phase (the outer loop's τ test above
-			// governs overall convergence).
-			continue
-		}
-		if noCompaction {
-			break
+
+		// Phase-boundary snapshot: only while the run continues (a run
+		// about to terminate delivers its result instead) and only when
+		// another phase can actually execute.
+		if cfg.CheckpointDir != "" && (phase+1)%cfg.CheckpointEvery == 0 && phase+1 < cfg.MaxPhases {
+			if err := rs.writeCheckpoint(); err != nil {
+				return nil, fmt.Errorf("phase %d checkpoint: %w", phase, err)
+			}
 		}
 	}
 
 	// Exact final modularity from the final coarse graph: with the
 	// identity partition, E_c is vertex c's self loop and A_c its degree.
 	var eLocal, aSqLocal float64
-	for lv := int64(0); lv < cur.LocalN; lv++ {
-		eLocal += cur.SelfLoop[lv]
-		aSqLocal += cur.K[lv] * cur.K[lv]
+	for lv := int64(0); lv < rs.cur.LocalN; lv++ {
+		eLocal += rs.cur.SelfLoop[lv]
+		aSqLocal += rs.cur.K[lv] * rs.cur.K[lv]
 	}
 	sums, err := c.AllreduceFloat64s([]float64{eLocal, aSqLocal}, mpi.OpSum)
 	if err != nil {
 		return nil, fmt.Errorf("final modularity allreduce: %w", err)
 	}
-	if cur.M2 > 0 {
-		res.Modularity = sums[0]/cur.M2 - sums[1]/(cur.M2*cur.M2)
+	if rs.cur.M2 > 0 {
+		res.Modularity = sums[0]/rs.cur.M2 - sums[1]/(rs.cur.M2*rs.cur.M2)
 	}
 
 	if cfg.GatherOutput {
-		if err := gatherOutput(dg, res); err != nil {
+		if err := gatherOutput(c, rs.origN, res); err != nil {
 			return nil, err
 		}
 	}
 
 	res.Runtime = time.Since(start)
-	steps.Total = res.Runtime
-	res.Steps = *steps
+	rs.steps.Total = res.Runtime
+	res.Steps = *rs.steps
 	res.Traffic = c.Stats().Snapshot().Sub(trafficStart)
 	return res, nil
 }
 
 // gatherOutput assembles the complete assignment at rank 0 (the paper's
-// quality-assessment collectives).
-func gatherOutput(dg *dgraph.DistGraph, res *Result) error {
+// quality-assessment collectives). globalN is the original graph's vertex
+// count.
+func gatherOutput(c *mpi.Comm, globalN int64, res *Result) error {
 	payload := mpi.AppendInt64(nil, res.LocalBase)
 	payload = mpi.AppendInt64s(payload, res.LocalComm)
-	blocks, err := dg.Comm.Gatherv(0, payload)
+	blocks, err := c.Gatherv(0, payload)
 	if err != nil {
 		return err
 	}
-	if dg.Comm.Rank() != 0 {
+	if c.Rank() != 0 {
 		return nil
 	}
-	global := make([]int64, dg.GlobalN)
+	global := make([]int64, globalN)
 	for _, b := range blocks {
 		d := mpi.NewDecoder(b)
 		base, err := d.Int64()

@@ -132,19 +132,12 @@ func ReadBinary(path string) (int64, []graph.RawEdge, error) {
 func SegmentRange(edges int64, rank, size int) (lo, hi int64) {
 	per := edges / int64(size)
 	rem := edges % int64(size)
-	lo = int64(rank)*per + min64(int64(rank), rem)
+	lo = int64(rank)*per + min(int64(rank), rem)
 	hi = lo + per
 	if int64(rank) < rem {
 		hi++
 	}
 	return lo, hi
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // ReadSegment reads rank's record range of the file. Every rank opens the

@@ -221,6 +221,31 @@ func (c *Comm) AllreduceInt64(v int64, op Op) (int64, error) {
 	return out[0], nil
 }
 
+// AllOK is a world-wide error agreement: every rank passes its local error
+// (nil for success) and AllOK returns nil only when every rank succeeded. A
+// failed rank gets its own error back; the others get an error naming one
+// failed rank. Because it is built on an allreduce it is also a barrier —
+// no rank returns before every rank has entered — which is exactly the
+// fence the checkpoint commit protocol needs: a manifest may only be
+// written once all ranks' snapshots have durably landed.
+func (c *Comm) AllOK(local error) error {
+	flag := int64(-1)
+	if local != nil {
+		flag = int64(c.rank)
+	}
+	worst, err := c.AllreduceInt64(flag, OpMax)
+	if err != nil {
+		return err
+	}
+	if worst < 0 {
+		return nil
+	}
+	if local != nil {
+		return local
+	}
+	return fmt.Errorf("mpi: rank %d reported failure", worst)
+}
+
 // ExscanInt64 returns the exclusive prefix sum of v over ranks: rank r
 // receives v_0+…+v_{r-1}; rank 0 receives 0. This is the parallel prefix the
 // coarsening step uses to renumber communities globally (Fig. 1, step 3).

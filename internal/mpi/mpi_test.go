@@ -334,6 +334,42 @@ func TestExscanInt64(t *testing.T) {
 	}
 }
 
+func TestAllOK(t *testing.T) {
+	const p = 4
+	// All clean: nil everywhere.
+	err := Run(p, func(c *Comm) error {
+		return c.AllOK(nil)
+	})
+	if err != nil {
+		t.Fatalf("all-nil AllOK: %v", err)
+	}
+	// One failed rank: every rank must see a non-nil outcome, the failed
+	// rank its own error, the others one naming the failed rank.
+	boom := fmt.Errorf("disk full")
+	results, err := RunCollect(p, func(c *Comm) (string, error) {
+		var local error
+		if c.Rank() == 2 {
+			local = boom
+		}
+		got := c.AllOK(local)
+		if got == nil {
+			return "", fmt.Errorf("rank %d: AllOK returned nil despite rank 2's failure", c.Rank())
+		}
+		if c.Rank() == 2 && got != boom {
+			return "", fmt.Errorf("failed rank did not get its own error back: %v", got)
+		}
+		return got.Error(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, msg := range results {
+		if r != 2 && msg != "mpi: rank 2 reported failure" {
+			t.Fatalf("rank %d saw %q", r, msg)
+		}
+	}
+}
+
 func TestAllgatherInt64(t *testing.T) {
 	const p = 6
 	results, err := RunCollect(p, func(c *Comm) ([]int64, error) {
