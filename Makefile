@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race test-race-all bench fuzz experiments experiments-md clean
+.PHONY: all check build vet test test-race test-race-all test-chaos bench fuzz experiments experiments-md clean
 
 all: check
 
@@ -27,6 +27,15 @@ test-race:
 
 test-race-all:
 	$(GO) test -race ./...
+
+# The chaos suite under the race detector: supervised worlds with injected
+# crashes (SIGKILL / transport kill), hangs (SIGSTOP / blocked collectives)
+# and flapping, all required to converge bit-identical to an undisturbed
+# run. Kept out of `check` because process spawning and hang windows make
+# it slower than the fast gate.
+test-chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Supervisor|Supervise|Interrupt|Detector|Backoff|Beacon' \
+		./internal/supervisor/... ./internal/core/... ./cmd/dlouvain/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -28,6 +28,17 @@
 //	until dlouvain -np 8 -ckpt-dir ck -resume g.bin; do
 //	    [ $? -eq 3 ] || break
 //	done
+//
+// Or let the built-in supervisor own that loop: -supervise watches rank
+// progress beacons, kills hung worlds, and relaunches crashed or killed
+// worlds from the latest committed checkpoint with exponential backoff —
+// degrading to fewer ranks when a size repeatedly fails:
+//
+//	dlouvain -transport tcp-local -np 8 -supervise -ckpt-dir ck \
+//	    -max-restarts 5 -min-ranks 2 g.bin
+//
+// SIGTERM/SIGINT checkpoints at the next phase boundary and exits with the
+// retryable code 3; a second signal aborts immediately.
 package main
 
 import (
@@ -38,6 +49,9 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"distlouvain/internal/core"
@@ -46,6 +60,7 @@ import (
 	"distlouvain/internal/mpi"
 	"distlouvain/internal/partition"
 	"distlouvain/internal/quality"
+	"distlouvain/internal/supervisor"
 )
 
 func main() {
@@ -74,7 +89,28 @@ func main() {
 		// loop `dlouvain -resume` until success.
 		ckptDir   = flag.String("ckpt-dir", "", "checkpoint directory (enables phase-boundary snapshots)")
 		ckptEvery = flag.Int("ckpt-every", 1, "snapshot after every k-th completed phase")
+		ckptKeep  = flag.Int("ckpt-keep", 2, "committed phase snapshots to retain per rank")
 		resume    = flag.Bool("resume", false, "resume from the checkpoint in -ckpt-dir")
+
+		// Self-healing supervision (inproc and tcp-local): watch rank
+		// progress beacons, kill hung worlds, relaunch retryable failures
+		// from the latest checkpoint with backoff, degrade the rank count
+		// when a size keeps failing.
+		supervise   = flag.Bool("supervise", false, "supervise the run: auto-restart from checkpoints on failure")
+		maxRestarts = flag.Int("max-restarts", 5, "supervise: relaunch budget before giving up")
+		backoff     = flag.Duration("backoff", 500*time.Millisecond, "supervise: base restart delay (doubles per consecutive failure)")
+		minRanks    = flag.Int("min-ranks", 1, "supervise: smallest world size degradation may reach")
+		hangMin     = flag.Duration("hang-min", 5*time.Second, "supervise: floor of the adaptive hang-detection window")
+		hangMax     = flag.Duration("hang-max", 2*time.Minute, "supervise: cap (and bootstrap value) of the hang-detection window")
+		pollEvery   = flag.Duration("poll", 250*time.Millisecond, "supervise: failure-detector poll cadence")
+
+		// Chaos injection for supervised tcp-local runs (first attempt
+		// only): SIGKILL or SIGSTOP a rank once its beacons reach a phase.
+		chaosKillRank  = flag.Int("chaos-kill-rank", -1, "chaos: SIGKILL this rank (supervised tcp-local; -1 disables)")
+		chaosKillPhase = flag.Int("chaos-kill-phase", 0, "chaos: phase at which -chaos-kill-rank fires")
+		chaosStopRank  = flag.Int("chaos-stop-rank", -1, "chaos: SIGSTOP this rank (supervised tcp-local; -1 disables)")
+		chaosStopPhase = flag.Int("chaos-stop-phase", 0, "chaos: phase at which -chaos-stop-rank fires")
+		chaosAll       = flag.Bool("chaos-all-attempts", false, "chaos: re-arm chaos and fault injection on every attempt (exercises budget exhaustion)")
 
 		// Failure-semantics knobs: deadlines turn a dead or partitioned
 		// peer into an error instead of a hang; the fault-* flags inject
@@ -112,6 +148,7 @@ func main() {
 	cfg.GatherOutput = true
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
+	cfg.CheckpointKeep = *ckptKeep
 
 	hdr, err := gio.ReadHeader(path)
 	if err != nil {
@@ -130,8 +167,27 @@ func main() {
 		KillAfterSends: *faultKill,
 	}
 
+	sopts := supOptions{
+		maxRestarts: *maxRestarts,
+		backoff:     *backoff,
+		minRanks:    *minRanks,
+		hangMin:     *hangMin,
+		hangMax:     *hangMax,
+		poll:        *pollEvery,
+		chaos: chaosSpec{
+			killRank: *chaosKillRank, killPhase: *chaosKillPhase,
+			stopRank: *chaosStopRank, stopPhase: *chaosStopPhase,
+			everyAttempt: *chaosAll,
+		},
+		verbose: *verbose,
+	}
+
 	switch *transport {
 	case "inproc":
+		if *supervise {
+			superviseInproc(path, hdr, *np, cfg, *edgeBal, *resume, *outPath, *truthPath, commOpts, fault, sopts)
+			return
+		}
 		runInproc(path, hdr, *np, cfg, *edgeBal, *resume, *outPath, *truthPath, *verbose, commOpts)
 	case "tcp":
 		addrs := strings.Split(*hosts, ",")
@@ -140,6 +196,10 @@ func main() {
 		}
 		runTCP(path, hdr, *rank, addrs, cfg, *edgeBal, *resume, *outPath, *truthPath, *verbose, commOpts, fault)
 	case "tcp-local":
+		if *supervise {
+			superviseLocalTCP(*np, path, cfg, *resume, sopts)
+			return
+		}
 		launchLocalTCP(*np)
 	default:
 		fatalf("unknown transport %q", *transport)
@@ -181,11 +241,27 @@ func launchLocalTCP(np int) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	cmds := make([]*exec.Cmd, np)
+	var (
+		mu   sync.Mutex
+		cmds = make([]*exec.Cmd, 0, np)
+	)
+	// Children run in their own process group, so this parent is the only
+	// signal distributor: SIGTERM/SIGINT forwards as one SIGTERM per rank
+	// (checkpoint and exit retryable); a second signal kills the world.
+	trapInterrupt(func(os.Signal) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, cmd := range cmds {
+			if cmd.Process != nil {
+				cmd.Process.Signal(syscall.SIGTERM)
+			}
+		}
+	})
 	for r := 0; r < np; r++ {
 		args := append([]string{"-transport", "tcp", "-rank", fmt.Sprint(r), "-hosts", hostList}, passthrough...)
 		args = append(args, flag.Args()...)
 		cmd := exec.Command(exe, args...)
+		cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
 		if r == 0 {
 			cmd.Stdout = os.Stdout
 			cmd.Stderr = os.Stderr
@@ -193,7 +269,9 @@ func launchLocalTCP(np int) {
 		if err := cmd.Start(); err != nil {
 			fatalf("spawn rank %d: %v", r, err)
 		}
-		cmds[r] = cmd
+		mu.Lock()
+		cmds = append(cmds, cmd)
+		mu.Unlock()
 	}
 	// Aggregate child statuses: when every failure is retryable (code 3),
 	// the whole world's failure is retryable — a wrapper may relaunch with
@@ -209,13 +287,21 @@ func launchLocalTCP(np int) {
 			}
 		}
 	}
+	os.Exit(aggregateExitCode(failed, retryable))
+}
+
+// aggregateExitCode folds per-rank child exit statuses into the parent's:
+// success only when every rank succeeded, retryable only when every failure
+// was retryable (so a wrapper may relaunch with -resume), fatal otherwise —
+// one deterministic bug among crash collateral must surface as fatal.
+func aggregateExitCode(failed, retryable int) int {
 	switch {
 	case failed == 0:
-		os.Exit(0)
+		return 0
 	case retryable == failed:
-		os.Exit(exitRetryable)
+		return exitRetryable
 	default:
-		os.Exit(1)
+		return 1
 	}
 }
 
@@ -282,6 +368,12 @@ func rankBody(path string, hdr gio.Header, cfg core.Config, edgeBal, resume, ver
 }
 
 func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption) {
+	var interrupted atomic.Bool
+	cfg.Interrupted = interrupted.Load
+	trapInterrupt(func(os.Signal) {
+		fmt.Fprintln(os.Stderr, "dlouvain: interrupt: checkpointing at the next phase boundary")
+		interrupted.Store(true)
+	})
 	body := rankBody(path, hdr, cfg, edgeBal, resume, verbose)
 	var root *core.Result
 	err := mpi.Run(np, func(c *mpi.Comm) error {
@@ -301,8 +393,33 @@ func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal, re
 }
 
 func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption, fault mpi.FaultPlan) {
+	var interrupted atomic.Bool
+	cfg.Interrupted = interrupted.Load
+	trapInterrupt(func(os.Signal) {
+		if rank == 0 {
+			fmt.Fprintln(os.Stderr, "dlouvain: interrupt: checkpointing at the next phase boundary")
+		}
+		interrupted.Store(true)
+	})
+
+	// Under a supervising parent, report progress beacons over the control
+	// channel, and treat a failed rendezvous as retryable: a sibling rank
+	// dying during startup must not burn the supervisor's fatal path.
+	supervised := supervisor.BeaconAddrFromEnv() != ""
+	if supervised {
+		if em, err := supervisor.DialBeacons(supervisor.BeaconAddrFromEnv()); err == nil {
+			defer em.Close()
+			cfg.Progress = supervisor.CoreProgress(rank, 0, em.Emit)
+			em.Emit(supervisor.Beacon{Rank: rank, Kind: supervisor.KindHello})
+		}
+	}
+
 	tp, err := mpi.DialTCPWorld(mpi.TCPWorldConfig{Rank: rank, Addrs: addrs})
 	if err != nil {
+		if supervised {
+			fmt.Fprintf(os.Stderr, "dlouvain: rank %d: rendezvous: %v\n", rank, err)
+			os.Exit(exitRetryable)
+		}
 		fatalf("%v", err)
 	}
 	if faultActive(fault) {
@@ -356,13 +473,20 @@ func report(res *core.Result, hdr gio.Header, cfg core.Config, np int, outPath, 
 // wrapper can loop `dlouvain -resume` while the code is 3.
 const exitRetryable = 3
 
-// exitCodeFor classifies a run error for the process exit status.
+// exitCodeFor classifies a run error for the process exit status. The
+// supervisor's give-up diagnoses (restart budget exhausted, rank floor hit)
+// are fatal even though the failures they wrap were retryable: the whole
+// point of the supervisor is that when IT gives up, an operator must look.
 func exitCodeFor(err error) int {
 	if err == nil {
 		return 0
 	}
-	var pl *mpi.ErrPeerLost
-	if errors.As(err, &pl) || errors.Is(err, mpi.ErrKilled) || errors.Is(err, os.ErrDeadlineExceeded) {
+	var ex *supervisor.ExhaustedError
+	var mr *supervisor.MinRanksError
+	if errors.As(err, &ex) || errors.As(err, &mr) {
+		return 1
+	}
+	if retryableRunErr(err) {
 		return exitRetryable
 	}
 	return 1

@@ -1,0 +1,467 @@
+// Self-healing supervision for dlouvain: -supervise wraps the run in the
+// internal/supervisor loop, so crashed, hung or interrupted worlds relaunch
+// from the latest committed checkpoint without operator intervention.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"distlouvain/internal/ckpt"
+	"distlouvain/internal/core"
+	"distlouvain/internal/gio"
+	"distlouvain/internal/mpi"
+	"distlouvain/internal/supervisor"
+)
+
+// supOptions carries the supervision flag values from main.
+type supOptions struct {
+	maxRestarts int
+	backoff     time.Duration
+	minRanks    int
+	hangMin     time.Duration
+	hangMax     time.Duration
+	poll        time.Duration
+	chaos       chaosSpec
+	verbose     bool
+}
+
+// chaosSpec configures first-attempt process-level fault injection in
+// supervised tcp-local runs: when the target rank's beacons reach the target
+// phase it is SIGKILLed (crash) or SIGSTOPped (hang without connection
+// loss). Rank -1 disables.
+type chaosSpec struct {
+	killRank, killPhase int
+	stopRank, stopPhase int
+	everyAttempt        bool // re-arm on every attempt (budget-exhaustion tests)
+}
+
+func (c chaosSpec) active() bool { return c.killRank >= 0 || c.stopRank >= 0 }
+
+// armed reports whether chaos (and fault-injection flags) fire on the given
+// attempt: normally the first one only, so the run self-heals; with
+// everyAttempt the failure recurs until the supervisor gives up.
+func (c chaosSpec) armed(attempt int) bool {
+	return attempt == 0 || c.everyAttempt
+}
+
+func (o supOptions) supervisorOptions(cfg core.Config) supervisor.Options {
+	return supervisor.Options{
+		Policy: supervisor.Policy{
+			MaxRestarts: o.maxRestarts,
+			BaseBackoff: o.backoff,
+			MinRanks:    o.minRanks,
+			Seed:        cfg.Seed,
+		},
+		Detector: supervisor.DetectorConfig{
+			MinWindow: o.hangMin,
+			MaxWindow: o.hangMax,
+		},
+		Poll:          o.poll,
+		Retryable:     retryableRunErr,
+		HasCheckpoint: func() bool { return hasCheckpoint(cfg.CheckpointDir) },
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dlouvain: "+format+"\n", args...)
+		},
+	}
+}
+
+// hasCheckpoint reports whether dir holds a committed checkpoint manifest.
+func hasCheckpoint(dir string) bool {
+	if dir == "" {
+		return false
+	}
+	_, err := ckpt.ReadManifest(dir)
+	return err == nil
+}
+
+// retryableRunErr classifies a world failure: true means transient (lost
+// peer, expired deadline, injected kill, graceful interrupt, or an
+// aggregated child failure that was itself retryable) and worth a relaunch
+// from the latest checkpoint.
+func retryableRunErr(err error) bool {
+	var pl *mpi.ErrPeerLost
+	var ce *childrenError
+	var he *supervisor.HangError
+	switch {
+	case errors.As(err, &ce):
+		return ce.retryable
+	case errors.As(err, &he):
+		return true
+	default:
+		return errors.As(err, &pl) ||
+			errors.Is(err, mpi.ErrKilled) ||
+			errors.Is(err, os.ErrDeadlineExceeded) ||
+			errors.Is(err, core.ErrInterrupted)
+	}
+}
+
+// trapInterrupt installs the two-stage SIGTERM/SIGINT handler: the first
+// signal invokes onFirst (request a phase-boundary checkpoint and retryable
+// exit), a second signal aborts the process immediately.
+func trapInterrupt(onFirst func(sig os.Signal)) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-ch
+		onFirst(sig)
+		<-ch
+		fmt.Fprintln(os.Stderr, "dlouvain: second signal, aborting")
+		os.Exit(1)
+	}()
+}
+
+// ---------------------------------------------------------------------------
+// In-process supervised worlds: one goroutine per rank, beacons delivered by
+// direct function call, kill = closing the inproc world.
+
+type inprocLauncher struct {
+	path     string
+	hdr      gio.Header
+	cfg      core.Config
+	edgeBal  bool
+	verbose  bool
+	commOpts []mpi.CommOption
+	fault    mpi.FaultPlan // transport fault injection (see faultAll)
+	faultAll bool          // inject on every attempt, not just the first
+
+	mu     sync.Mutex
+	result *core.Result // rank-0 result of the completed attempt
+	ranks  int          // world size of the completed attempt
+}
+
+type inprocAttempt struct {
+	world     *mpi.InprocWorld
+	interrupt atomic.Bool
+	done      chan struct{}
+	err       error
+}
+
+func (a *inprocAttempt) Wait() error { <-a.done; return a.err }
+func (a *inprocAttempt) Kill()       { a.world.Close() }
+func (a *inprocAttempt) Interrupt()  { a.interrupt.Store(true) }
+
+func (l *inprocLauncher) Launch(spec supervisor.LaunchSpec, beacons func(supervisor.Beacon)) (supervisor.Attempt, error) {
+	world, err := mpi.NewInprocWorld(spec.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	a := &inprocAttempt{world: world, done: make(chan struct{})}
+	go l.run(a, spec, beacons)
+	return a, nil
+}
+
+func (l *inprocLauncher) run(a *inprocAttempt, spec supervisor.LaunchSpec, beacons func(supervisor.Beacon)) {
+	defer close(a.done)
+	defer a.world.Close()
+	errs := make([]error, spec.Ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < spec.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("rank %d panicked: %v", r, p)
+					a.world.Close()
+				}
+			}()
+			cfg := l.cfg
+			cfg.Progress = supervisor.CoreProgress(r, 0, beacons)
+			cfg.Interrupted = a.interrupt.Load
+			beacons(supervisor.Beacon{Rank: r, Kind: supervisor.KindHello})
+			tp := a.world.Endpoint(r)
+			if (spec.Attempt == 0 || l.faultAll) && faultActive(l.fault) {
+				fp := l.fault
+				fp.Seed ^= uint64(r) * 0x9e3779b97f4a7c15
+				tp = mpi.NewFaultTransport(tp, fp)
+			}
+			c := mpi.NewComm(tp, l.commOpts...)
+			res, err := rankBody(l.path, l.hdr, cfg, l.edgeBal, spec.Resume, l.verbose)(c)
+			if err != nil {
+				errs[r] = err
+				a.world.Close()
+				return
+			}
+			if r == 0 {
+				l.mu.Lock()
+				l.result, l.ranks = res, spec.Ranks
+				l.mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	a.err = pickWorldError(errs)
+}
+
+// pickWorldError selects the most meaningful failure from a world's per-rank
+// errors: a fatal error wins over a retryable one, which wins over the
+// ErrClosed collateral that peers report after the world is torn down. This
+// keeps a deterministic bug from masquerading as retryable and looping away
+// the restart budget.
+func pickWorldError(errs []error) error {
+	var retry, collateral error
+	for r, e := range errs {
+		if e == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("rank %d: %w", r, e)
+		switch {
+		case retryableRunErr(e):
+			if retry == nil {
+				retry = wrapped
+			}
+		case errors.Is(e, mpi.ErrClosed):
+			if collateral == nil {
+				collateral = wrapped
+			}
+		default:
+			return wrapped
+		}
+	}
+	if retry != nil {
+		return retry
+	}
+	return collateral
+}
+
+// superviseInproc runs the supervised in-process world and reports the
+// surviving attempt's result.
+func superviseInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, commOpts []mpi.CommOption, fault mpi.FaultPlan, opts supOptions) {
+	l := &inprocLauncher{
+		path: path, hdr: hdr, cfg: cfg,
+		edgeBal: edgeBal, verbose: opts.verbose,
+		commOpts: commOpts, fault: fault, faultAll: opts.chaos.everyAttempt,
+	}
+	sup := supervisor.New(l, opts.supervisorOptions(cfg))
+	trapInterrupt(func(os.Signal) {
+		fmt.Fprintln(os.Stderr, "dlouvain: interrupt: checkpointing at the next phase boundary")
+		sup.Interrupt()
+	})
+	if err := sup.Run(np, resume); err != nil {
+		runFailf(err, "%v", err)
+	}
+	l.mu.Lock()
+	res, ranks := l.result, l.ranks
+	l.mu.Unlock()
+	report(res, hdr, cfg, ranks, outPath, truthPath)
+}
+
+// ---------------------------------------------------------------------------
+// Child-process supervised worlds (tcp-local): each attempt spawns one OS
+// process per rank in its own process group, beacons arrive over the TCP
+// control channel, kill = SIGKILL.
+
+type procLauncher struct {
+	exe         string
+	graph       string
+	passthrough []string // shared child flags (variant, ckpt-dir, timeouts, ...)
+	faultArgs   []string // fault-* flags, forwarded on armed attempts only
+	chaos       chaosSpec
+	logf        func(format string, args ...any)
+}
+
+type procAttempt struct {
+	cmds []*exec.Cmd
+	srv  *supervisor.BeaconServer
+	done chan struct{}
+	err  error
+
+	killOnce sync.Once
+	intOnce  sync.Once
+}
+
+func (a *procAttempt) Wait() error { <-a.done; return a.err }
+
+func (a *procAttempt) Kill() {
+	a.killOnce.Do(func() {
+		for _, cmd := range a.cmds {
+			if cmd.Process != nil {
+				cmd.Process.Kill() // SIGKILL also fells SIGSTOPped children
+			}
+		}
+	})
+}
+
+func (a *procAttempt) Interrupt() {
+	a.intOnce.Do(func() {
+		for _, cmd := range a.cmds {
+			if cmd.Process != nil {
+				cmd.Process.Signal(syscall.SIGTERM)
+			}
+		}
+	})
+}
+
+func (l *procLauncher) Launch(spec supervisor.LaunchSpec, beacons func(supervisor.Beacon)) (supervisor.Attempt, error) {
+	np := spec.Ranks
+	addrs := make([]string, np)
+	for r := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("reserve port: %w", err)
+		}
+		addrs[r] = ln.Addr().String()
+		ln.Close()
+	}
+	hostList := strings.Join(addrs, ",")
+
+	a := &procAttempt{done: make(chan struct{})}
+	sink := beacons
+	if l.chaos.active() && l.chaos.armed(spec.Attempt) {
+		var killOnce, stopOnce sync.Once
+		sink = func(b supervisor.Beacon) {
+			l.maybeChaos(&killOnce, &stopOnce, b)
+			beacons(b)
+		}
+	}
+	srv, err := supervisor.ListenBeacons("", sink)
+	if err != nil {
+		return nil, err
+	}
+	a.srv = srv
+
+	cmds := make([]*exec.Cmd, np)
+	for r := 0; r < np; r++ {
+		args := []string{"-transport", "tcp", "-rank", fmt.Sprint(r), "-hosts", hostList}
+		args = append(args, l.passthrough...)
+		if l.chaos.armed(spec.Attempt) {
+			args = append(args, l.faultArgs...)
+		}
+		if spec.Resume {
+			args = append(args, "-resume")
+		}
+		args = append(args, l.graph)
+		cmd := exec.Command(l.exe, args...)
+		cmd.Env = append(os.Environ(), supervisor.EnvBeaconAddr+"="+srv.Addr())
+		// A fresh process group: the supervising parent is the only signal
+		// distributor, so a terminal Ctrl-C can't double-deliver to ranks.
+		cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+		if r == 0 {
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+		}
+		if err := cmd.Start(); err != nil {
+			a.cmds = cmds[:r]
+			a.Kill()
+			srv.Close()
+			return nil, fmt.Errorf("spawn rank %d: %w", r, err)
+		}
+		cmds[r] = cmd
+	}
+	a.cmds = cmds
+	go a.reap()
+	return a, nil
+}
+
+// maybeChaos fires the configured process-level fault when the target rank's
+// beacons reach the target phase. It runs on the beacon path, so injection
+// is deterministic in terms of run progress, not wall-clock.
+func (l *procLauncher) maybeChaos(killOnce, stopOnce *sync.Once, b supervisor.Beacon) {
+	if b.PID == 0 || (b.Kind != supervisor.KindPhaseStart && b.Kind != supervisor.KindIteration) {
+		return
+	}
+	if b.Rank == l.chaos.killRank && b.Phase >= l.chaos.killPhase {
+		killOnce.Do(func() {
+			l.logf("chaos: SIGKILL rank %d (pid %d) at phase %d", b.Rank, b.PID, b.Phase)
+			syscall.Kill(b.PID, syscall.SIGKILL)
+		})
+	}
+	if b.Rank == l.chaos.stopRank && b.Phase >= l.chaos.stopPhase {
+		stopOnce.Do(func() {
+			l.logf("chaos: SIGSTOP rank %d (pid %d) at phase %d", b.Rank, b.PID, b.Phase)
+			syscall.Kill(b.PID, syscall.SIGSTOP)
+		})
+	}
+}
+
+// reap waits for every child and aggregates their exit statuses into one
+// world error: nil when all succeed, retryable when every failure is
+// retryable (exit 3) or signal-induced (crash/kill), fatal otherwise.
+func (a *procAttempt) reap() {
+	defer close(a.done)
+	defer a.srv.Close()
+	var fails []string
+	retryable := true
+	for r, cmd := range a.cmds {
+		err := cmd.Wait()
+		if err == nil {
+			continue
+		}
+		fails = append(fails, fmt.Sprintf("rank %d: %v", r, err))
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			// Exit 3 is the retryable protocol code; a signal death
+			// (ExitCode -1: SIGKILL, crash) is a lost peer, also retryable.
+			if code := ee.ExitCode(); code != exitRetryable && code != -1 {
+				retryable = false
+			}
+		} else {
+			retryable = false
+		}
+	}
+	if len(fails) > 0 {
+		a.err = &childrenError{msg: strings.Join(fails, "; "), retryable: retryable}
+	}
+}
+
+// childrenError aggregates child-process failures with an explicit
+// retryability verdict derived from their exit codes.
+type childrenError struct {
+	msg       string
+	retryable bool
+}
+
+func (e *childrenError) Error() string { return "world failed: " + e.msg }
+
+// superviseLocalTCP supervises a tcp-local world of child rank processes.
+func superviseLocalTCP(np int, graph string, cfg core.Config, resume bool, opts supOptions) {
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var passthrough, faultArgs []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "transport", "np", "rank", "hosts", "supervise", "resume",
+			"max-restarts", "backoff", "min-ranks", "hang-min", "hang-max", "poll",
+			"chaos-kill-rank", "chaos-kill-phase", "chaos-stop-rank", "chaos-stop-phase",
+			"chaos-all-attempts":
+			// supervision and topology flags stay with the parent
+		case "fault-seed", "fault-drop", "fault-dup", "fault-delay", "fault-kill-after":
+			faultArgs = append(faultArgs, "-"+f.Name+"="+f.Value.String())
+		default:
+			passthrough = append(passthrough, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	sopts := opts.supervisorOptions(cfg)
+	l := &procLauncher{
+		exe: exe, graph: graph,
+		passthrough: passthrough, faultArgs: faultArgs,
+		chaos: opts.chaos, logf: sopts.Logf,
+	}
+	if opts.verbose {
+		sopts.OnBeacon = func(b supervisor.Beacon) {
+			fmt.Fprintf(os.Stderr, "dlouvain: beacon %+v\n", b)
+		}
+	}
+	sup := supervisor.New(l, sopts)
+	trapInterrupt(func(os.Signal) {
+		fmt.Fprintln(os.Stderr, "dlouvain: interrupt: checkpointing at the next phase boundary")
+		sup.Interrupt()
+	})
+	if err := sup.Run(np, resume); err != nil {
+		runFailf(err, "%v", err)
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distlouvain/internal/core"
+	"distlouvain/internal/gen"
+	"distlouvain/internal/gio"
+	"distlouvain/internal/mpi"
+	"distlouvain/internal/supervisor"
+)
+
+func TestAggregateExitCode(t *testing.T) {
+	cases := []struct {
+		name              string
+		failed, retryable int
+		want              int
+	}{
+		{"all ranks succeeded", 0, 0, 0},
+		{"all failures retryable", 3, 3, exitRetryable},
+		{"single retryable failure", 1, 1, exitRetryable},
+		{"mixed retryable and fatal", 3, 2, 1},
+		{"all fatal", 2, 0, 1},
+	}
+	for _, c := range cases {
+		if got := aggregateExitCode(c.failed, c.retryable); got != c.want {
+			t.Errorf("%s: aggregateExitCode(%d, %d) = %d, want %d",
+				c.name, c.failed, c.retryable, got, c.want)
+		}
+	}
+}
+
+func TestExitCodeForSupervisorErrors(t *testing.T) {
+	retryCause := &mpi.ErrPeerLost{Peer: 1, Cause: errors.New("eof")}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		// The supervisor's give-up errors are fatal even when the failure
+		// they wrap was retryable: the budget IS the retry mechanism.
+		{"budget exhausted", &supervisor.ExhaustedError{Restarts: 5, Last: retryCause}, 1},
+		{"rank floor hit", &supervisor.MinRanksError{Ranks: 2, MinRanks: 2, Last: retryCause}, 1},
+		{"graceful interrupt", fmt.Errorf("rank 0: %w", core.ErrInterrupted), exitRetryable},
+		{"hang diagnosis", &supervisor.HangError{Suspects: []supervisor.Suspect{{Rank: 1}}}, exitRetryable},
+		{"children all retryable", &childrenError{msg: "rank 1: exit status 3", retryable: true}, exitRetryable},
+		{"children mixed fatal", &childrenError{msg: "rank 1: exit status 1", retryable: false}, 1},
+	}
+	for _, c := range cases {
+		if got := exitCodeFor(c.err); got != c.want {
+			t.Errorf("%s: exitCodeFor = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// buildBinaryAndGraph compiles dlouvain and writes a multi-phase test graph,
+// returning their paths plus the undisturbed reference output.
+func buildBinaryAndGraph(t *testing.T) (bin, graphPath, refOut string) {
+	t.Helper()
+	dir := t.TempDir()
+	bin = filepath.Join(dir, "dlouvain")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	n, edges := gen.ErdosRenyi(300, 1500, 5)
+	graphPath = filepath.Join(dir, "g.bin")
+	if err := gio.WriteBinary(graphPath, n, edges); err != nil {
+		t.Fatal(err)
+	}
+
+	refOut = filepath.Join(dir, "ref.out")
+	ref := exec.Command(bin, "-np", "3", "-o", refOut, graphPath)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+	return bin, graphPath, refOut
+}
+
+func sameFile(t *testing.T, label, got, want string) {
+	t.Helper()
+	g, err := os.ReadFile(got)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	w, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if !bytes.Equal(g, w) {
+		t.Fatalf("%s: supervised output differs from the undisturbed run", label)
+	}
+}
+
+// TestSuperviseTCPLocalChaos is the process-level end of the chaos suite:
+// child rank processes are SIGKILLed and SIGSTOPped mid-run and the
+// supervised world must converge to the undisturbed run's exact assignment
+// with no operator input.
+func TestSuperviseTCPLocalChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level chaos is not -short friendly")
+	}
+	bin, graphPath, refOut := buildBinaryAndGraph(t)
+
+	t.Run("sigkill mid-phase", func(t *testing.T) {
+		dir := t.TempDir()
+		out := filepath.Join(dir, "out")
+		cmd := exec.Command(bin,
+			"-transport", "tcp-local", "-np", "3", "-supervise",
+			"-ckpt-dir", filepath.Join(dir, "ck"), "-backoff", "20ms",
+			"-chaos-kill-rank", "1", "-chaos-kill-phase", "1",
+			"-o", out, graphPath)
+		outp, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("supervised run failed: %v\n%s", err, outp)
+		}
+		if !strings.Contains(string(outp), "chaos: SIGKILL rank 1") {
+			t.Fatalf("chaos injection never fired:\n%s", outp)
+		}
+		sameFile(t, "sigkill", out, refOut)
+	})
+
+	t.Run("sigstop hang", func(t *testing.T) {
+		dir := t.TempDir()
+		out := filepath.Join(dir, "out")
+		cmd := exec.Command(bin,
+			"-transport", "tcp-local", "-np", "3", "-supervise",
+			"-ckpt-dir", filepath.Join(dir, "ck"), "-backoff", "20ms",
+			"-hang-min", "300ms", "-hang-max", "3s", "-poll", "50ms",
+			"-chaos-stop-rank", "2", "-chaos-stop-phase", "1",
+			"-o", out, graphPath)
+		outp, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("supervised run failed: %v\n%s", err, outp)
+		}
+		if !strings.Contains(string(outp), "world hung") {
+			t.Fatalf("hang was never diagnosed:\n%s", outp)
+		}
+		sameFile(t, "sigstop", out, refOut)
+	})
+
+	t.Run("budget exhaustion is fatal and distinct", func(t *testing.T) {
+		dir := t.TempDir()
+		cmd := exec.Command(bin,
+			"-transport", "tcp-local", "-np", "3", "-supervise",
+			"-ckpt-dir", filepath.Join(dir, "ck"), "-backoff", "20ms",
+			"-max-restarts", "1",
+			"-chaos-kill-rank", "0", "-chaos-kill-phase", "0", "-chaos-all-attempts",
+			graphPath)
+		outp, err := cmd.CombinedOutput()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+			t.Fatalf("err = %v (output %s), want fatal exit 1", err, outp)
+		}
+		if !strings.Contains(string(outp), "restart budget exhausted") {
+			t.Fatalf("missing exhaustion diagnostic:\n%s", outp)
+		}
+	})
+
+	t.Run("min-ranks violation is fatal and distinct", func(t *testing.T) {
+		dir := t.TempDir()
+		cmd := exec.Command(bin,
+			"-transport", "tcp-local", "-np", "3", "-supervise",
+			"-ckpt-dir", filepath.Join(dir, "ck"), "-backoff", "20ms",
+			"-min-ranks", "3",
+			"-chaos-kill-rank", "0", "-chaos-kill-phase", "0", "-chaos-all-attempts",
+			graphPath)
+		outp, err := cmd.CombinedOutput()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+			t.Fatalf("err = %v (output %s), want fatal exit 1", err, outp)
+		}
+		if !strings.Contains(string(outp), "rank floor") {
+			t.Fatalf("missing rank-floor diagnostic:\n%s", outp)
+		}
+	})
+}
+
+// TestSuperviseInprocChaos drives the supervised in-process path end to end
+// with transport-level fault injection on the first attempt.
+func TestSuperviseInprocChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	bin, graphPath, refOut := buildBinaryAndGraph(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out")
+	cmd := exec.Command(bin,
+		"-np", "3", "-supervise",
+		"-ckpt-dir", filepath.Join(dir, "ck"), "-backoff", "20ms",
+		"-fault-kill-after", "50", "-fault-seed", "5",
+		"-o", out, graphPath)
+	outp, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("supervised run failed: %v\n%s", err, outp)
+	}
+	if !strings.Contains(string(outp), "restart 1/") {
+		t.Fatalf("fault injection never forced a restart:\n%s", outp)
+	}
+	sameFile(t, "inproc fault kill", out, refOut)
+}

@@ -224,7 +224,7 @@ func TestPruneRank(t *testing.T) {
 	mk(RankFileName(2, 0))
 	mk(RankFileName(2, 0) + ".tmp")
 	mk(RankFileName(2, 1)) // other rank: untouched
-	PruneRank(dir, 0, 2)
+	PruneRank(dir, 0, 2, 1)
 	for name, want := range map[string]bool{
 		RankFileName(1, 0):          false,
 		RankFileName(2, 0):          true,
@@ -236,4 +236,54 @@ func TestPruneRank(t *testing.T) {
 			t.Fatalf("%s: exists=%v, want %v", name, got, want)
 		}
 	}
+}
+
+// TestPruneRankRetention covers the keep-K window: the K most recent phases
+// survive, everything older goes, and the manifest-referenced phase is
+// retained even when it is not among the K newest.
+func TestPruneRankRetention(t *testing.T) {
+	mkAll := func(t *testing.T, dir string, phases ...int) {
+		t.Helper()
+		for _, ph := range phases {
+			if err := os.WriteFile(filepath.Join(dir, RankFileName(ph, 0)), []byte("x"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check := func(t *testing.T, dir string, want map[int]bool) {
+		t.Helper()
+		for ph, keep := range want {
+			_, err := os.Stat(filepath.Join(dir, RankFileName(ph, 0)))
+			if got := err == nil; got != keep {
+				t.Fatalf("phase %d: exists=%v, want %v", ph, got, keep)
+			}
+		}
+	}
+
+	t.Run("keep2", func(t *testing.T) {
+		dir := t.TempDir()
+		mkAll(t, dir, 1, 2, 3, 4)
+		PruneRank(dir, 0, 4, 2)
+		check(t, dir, map[int]bool{1: false, 2: false, 3: true, 4: true})
+	})
+	t.Run("manifest phase outside window", func(t *testing.T) {
+		// A stale manifest phase (e.g. the newest snapshots landed but the
+		// commit died before the rename) must survive any quota.
+		dir := t.TempDir()
+		mkAll(t, dir, 2, 5, 6, 7)
+		PruneRank(dir, 0, 2, 2)
+		check(t, dir, map[int]bool{2: true, 5: false, 6: true, 7: true})
+	})
+	t.Run("keep below one clamps", func(t *testing.T) {
+		dir := t.TempDir()
+		mkAll(t, dir, 3, 4)
+		PruneRank(dir, 0, 4, 0)
+		check(t, dir, map[int]bool{3: false, 4: true})
+	})
+	t.Run("fewer phases than quota", func(t *testing.T) {
+		dir := t.TempDir()
+		mkAll(t, dir, 7)
+		PruneRank(dir, 0, 7, 3)
+		check(t, dir, map[int]bool{7: true})
+	})
 }

@@ -7,6 +7,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // ManifestName is the manifest file inside a checkpoint directory. It is
@@ -96,19 +97,45 @@ func ReadManifest(dir string) (*Manifest, error) {
 	return &m, nil
 }
 
-// PruneRank removes this rank's snapshot files for phases other than
-// keepPhase, plus any abandoned temporaries. It is called only after the
-// keepPhase manifest has been committed, so everything it removes is
-// unreferenced. Best-effort: removal errors are ignored (a leftover file is
-// garbage, not a hazard).
-func PruneRank(dir string, rank, keepPhase int) {
-	keep := RankFileName(keepPhase, rank)
+// PruneRank garbage-collects this rank's snapshot files down to the `keep`
+// most recent phases (keep < 1 is treated as 1), plus any abandoned
+// temporaries. keepPhase — the phase the committed manifest references — is
+// always retained regardless of its position in the ordering, so a resume
+// can never lose its source files. It is called only after the keepPhase
+// manifest has been committed, so everything it removes is unreferenced.
+// Best-effort: removal errors are ignored (a leftover file is garbage, not a
+// hazard).
+func PruneRank(dir string, rank, keepPhase, keep int) {
+	if keep < 1 {
+		keep = 1
+	}
 	pattern := fmt.Sprintf("phase-*-rank-%05d.ckpt", rank)
 	matches, _ := filepath.Glob(filepath.Join(dir, pattern))
+	type phaseFile struct {
+		phase int
+		path  string
+	}
+	files := make([]phaseFile, 0, len(matches))
 	for _, p := range matches {
-		if filepath.Base(p) != keep {
-			os.Remove(p)
+		var ph, rk int
+		if _, err := fmt.Sscanf(filepath.Base(p), "phase-%d-rank-%d.ckpt", &ph, &rk); err != nil || rk != rank {
+			continue // foreign file caught by the glob; leave it alone
 		}
+		files = append(files, phaseFile{phase: ph, path: p})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].phase > files[j].phase })
+	kept := 0
+	for _, f := range files {
+		inQuota := kept < keep
+		if inQuota {
+			kept++
+		}
+		// The manifest-referenced phase survives even outside the quota —
+		// it is what a resume would read.
+		if inQuota || f.phase == keepPhase {
+			continue
+		}
+		os.Remove(f.path)
 	}
 	tmps, _ := filepath.Glob(filepath.Join(dir, pattern+".tmp"))
 	for _, p := range tmps {

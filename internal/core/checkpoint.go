@@ -73,8 +73,11 @@ func (rs *runState) writeCheckpoint() error {
 		return err
 	}
 
-	// The manifest is committed; snapshots of earlier phases are now dead.
-	ckpt.PruneRank(dir, c.Rank(), completed)
+	// The manifest is committed; retain the trailing CheckpointKeep phases
+	// (older snapshots give a supervisor a fallback if the newest file is
+	// later found damaged) and GC everything before them.
+	ckpt.PruneRank(dir, c.Rank(), completed, rs.cfg.CheckpointKeep)
+	rs.cfg.progress(ProgressEvent{Kind: ProgressCheckpoint, Phase: completed, Modularity: rs.prevQ, Vertices: rs.cur.GlobalN})
 	return nil
 }
 

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"time"
@@ -98,6 +99,26 @@ type Config struct {
 	// selects 1, i.e. every phase). Later phases run on ever-smaller
 	// coarse graphs, so frequent snapshots get cheaper as the run ages.
 	CheckpointEvery int
+	// CheckpointKeep retains the snapshots of the last K committed phases
+	// (≤0 selects 2); older phase files are garbage-collected after each
+	// commit so long supervised runs don't fill the disk. The
+	// manifest-referenced phase is never deleted.
+	CheckpointKeep int
+
+	// Progress, when set, is invoked synchronously by this rank's driver
+	// at run milestones: phase start, each completed iteration, each
+	// committed checkpoint, and run completion. Supervisors use it to emit
+	// liveness beacons; a hook that blocks stalls the rank (the chaos
+	// tests exploit exactly that). It never affects the trajectory and is
+	// excluded from Hash.
+	Progress func(ProgressEvent)
+
+	// Interrupted, when set, is polled at every phase boundary and its
+	// verdict is combined world-wide (allreduce max): when any rank
+	// reports true, every rank writes a final checkpoint (if CheckpointDir
+	// is set) and returns an error wrapping ErrInterrupted. Either all
+	// ranks of a world set this hook or none — the poll is a collective.
+	Interrupted func() bool
 }
 
 func (c *Config) fill() {
@@ -115,6 +136,16 @@ func (c *Config) fill() {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 1
+	}
+	if c.CheckpointKeep <= 0 {
+		c.CheckpointKeep = 2
+	}
+}
+
+// progress invokes the Progress hook when one is installed.
+func (c *Config) progress(ev ProgressEvent) {
+	if c.Progress != nil {
+		c.Progress(ev)
 	}
 }
 
@@ -184,6 +215,35 @@ func (c Config) VariantName() string {
 	default:
 		return "Baseline"
 	}
+}
+
+// ErrInterrupted is wrapped by the error Run/Resume return when the
+// Interrupted hook stopped the run at a phase boundary. The run state is
+// intact on disk (a final checkpoint was committed when CheckpointDir is
+// set), so callers classify it as retryable: `dlouvain -resume` or a
+// supervisor continues exactly where the run stopped.
+var ErrInterrupted = errors.New("core: run interrupted at phase boundary")
+
+// ProgressKind labels one Progress hook invocation.
+type ProgressKind string
+
+// Progress milestones, in the order a run emits them.
+const (
+	ProgressPhaseStart ProgressKind = "phase-start" // a phase's iteration loop is about to run
+	ProgressIteration  ProgressKind = "iteration"   // one Louvain iteration completed
+	ProgressCheckpoint ProgressKind = "checkpoint"  // a phase snapshot committed world-wide
+	ProgressDone       ProgressKind = "done"        // the run finished; Result is final
+)
+
+// ProgressEvent is one milestone report from a rank's driver. All fields are
+// globally agreed quantities (every rank emits the same sequence), so a
+// supervisor can correlate beacons across the world.
+type ProgressEvent struct {
+	Kind       ProgressKind
+	Phase      int     // phase index the event belongs to
+	Iteration  int     // 1-based within the phase; 0 for non-iteration events
+	Modularity float64 // latest globally agreed modularity (NaN before the first)
+	Vertices   int64   // global coarse-graph size at the phase start
 }
 
 // ExitReason explains why a phase's iteration loop ended.

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"distlouvain/internal/ckpt"
+	"distlouvain/internal/gen"
+)
+
+// TestInterruptCheckpointsAndResumes: raising the Interrupted flag mid-run
+// makes every rank stop at the next phase boundary with a forced committed
+// checkpoint and ErrInterrupted; resuming retraces the undisturbed run
+// bit-for-bit.
+func TestInterruptCheckpointsAndResumes(t *testing.T) {
+	n, edges := gen.ErdosRenyi(300, 1500, 5)
+	want, err := RunOnEdges(3, n, edges, Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Phases) < 2 {
+		t.Fatalf("run converged in %d phase(s); nothing left to resume", len(want.Phases))
+	}
+
+	dir := t.TempDir()
+	var stop atomic.Bool
+	cfg := Baseline()
+	cfg.CheckpointDir = dir
+	cfg.Interrupted = stop.Load
+	cfg.Progress = func(ev ProgressEvent) {
+		// Simulates SIGTERM arriving while phase 0 iterates.
+		if ev.Kind == ProgressIteration && ev.Phase == 0 {
+			stop.Store(true)
+		}
+	}
+	_, err = RunOnEdges(3, n, edges, cfg)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+
+	man, err := ckpt.ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("interrupt left no committed checkpoint: %v", err)
+	}
+	if man.Phase < 1 {
+		t.Fatalf("manifest phase = %d, want >= 1", man.Phase)
+	}
+
+	got := resumeInproc(t, 3, dir, Baseline())
+	sameOutcome(t, "resume after interrupt", got, want)
+}
+
+// TestInterruptWithoutCheckpointDir: with no checkpoint directory the run
+// still stops collectively at the phase boundary, but says plainly that
+// nothing was saved.
+func TestInterruptWithoutCheckpointDir(t *testing.T) {
+	n, edges := gen.ErdosRenyi(200, 900, 3)
+	cfg := Baseline()
+	cfg.Interrupted = func() bool { return true }
+	_, err := RunOnEdges(2, n, edges, cfg)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !strings.Contains(err.Error(), "no checkpoint directory") {
+		t.Fatalf("err %q does not mention the missing checkpoint directory", err)
+	}
+}
+
+// TestProgressEventsCoverRunMilestones: a run reports phase starts,
+// iterations, checkpoint commits and completion through Config.Progress,
+// with modularity echoing the phase trajectory.
+func TestProgressEventsCoverRunMilestones(t *testing.T) {
+	n, edges := gen.ErdosRenyi(300, 1500, 5)
+	dir := t.TempDir()
+	cfg := Baseline()
+	cfg.CheckpointDir = dir
+
+	var phaseStarts, iters, ckpts, dones atomic.Int64
+	cfg.Progress = func(ev ProgressEvent) {
+		switch ev.Kind {
+		case ProgressPhaseStart:
+			phaseStarts.Add(1)
+		case ProgressIteration:
+			iters.Add(1)
+			if ev.Iteration <= 0 {
+				t.Errorf("iteration event without a counter: %+v", ev)
+			}
+		case ProgressCheckpoint:
+			ckpts.Add(1)
+			if ev.Phase < 1 {
+				t.Errorf("checkpoint event for phase %d", ev.Phase)
+			}
+		case ProgressDone:
+			dones.Add(1)
+		}
+	}
+	res, err := RunOnEdges(3, n, edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := int64(3)
+	if got := phaseStarts.Load(); got != p*int64(len(res.Phases)) {
+		t.Errorf("phase-start events = %d, want %d", got, p*int64(len(res.Phases)))
+	}
+	if got := iters.Load(); got != p*int64(res.TotalIterations) {
+		t.Errorf("iteration events = %d, want %d", got, p*int64(res.TotalIterations))
+	}
+	if ckpts.Load() == 0 {
+		t.Error("no checkpoint events despite a checkpoint directory")
+	}
+	if got := dones.Load(); got != p {
+		t.Errorf("done events = %d, want one per rank (%d)", got, p)
+	}
+}

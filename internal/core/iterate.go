@@ -318,6 +318,7 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 		}
 		stat.QTrajectory = append(stat.QTrajectory, q)
 		stat.MovesTrajectory = append(stat.MovesTrajectory, globalMoves)
+		st.cfg.progress(ProgressEvent{Kind: ProgressIteration, Phase: st.phase, Iteration: stat.Iterations, Modularity: q, Vertices: globalN})
 
 		// (v) threshold check.
 		if q-prevQ <= tau {

@@ -77,6 +77,7 @@ func (rs *runState) runLoop() (*Result, error) {
 		if len(cfg.TauSchedule) > 0 && !rs.forcedFinal {
 			tau = cfg.TauSchedule[phase%len(cfg.TauSchedule)]
 		}
+		cfg.progress(ProgressEvent{Kind: ProgressPhaseStart, Phase: phase, Modularity: rs.prevQ, Vertices: rs.cur.GlobalN})
 
 		st, err := newPhaseState(rs.cur, cfg, phase, rs.steps)
 		if err != nil {
@@ -135,6 +136,30 @@ func (rs *runState) runLoop() (*Result, error) {
 			break
 		}
 
+		// Interrupt poll: a collective decision (allreduce max of the
+		// per-rank hook verdicts), so every rank stops at the same phase
+		// boundary. A stop forces a final checkpoint regardless of the
+		// CheckpointEvery schedule — the whole point is resuming later.
+		if cfg.Interrupted != nil {
+			var local int64
+			if cfg.Interrupted() {
+				local = 1
+			}
+			flagged, err := c.AllreduceInt64(local, mpi.OpMax)
+			if err != nil {
+				return nil, fmt.Errorf("phase %d interrupt poll: %w", phase, err)
+			}
+			if flagged != 0 {
+				if cfg.CheckpointDir != "" {
+					if err := rs.writeCheckpoint(); err != nil {
+						return nil, fmt.Errorf("phase %d final checkpoint: %w", phase, err)
+					}
+					return nil, fmt.Errorf("%w after phase %d (checkpoint committed)", ErrInterrupted, phase)
+				}
+				return nil, fmt.Errorf("%w after phase %d (no checkpoint directory configured)", ErrInterrupted, phase)
+			}
+		}
+
 		// Phase-boundary snapshot: only while the run continues (a run
 		// about to terminate delivers its result instead) and only when
 		// another phase can actually execute.
@@ -170,6 +195,7 @@ func (rs *runState) runLoop() (*Result, error) {
 	rs.steps.Total = res.Runtime
 	res.Steps = *rs.steps
 	res.Traffic = c.Stats().Snapshot().Sub(trafficStart)
+	cfg.progress(ProgressEvent{Kind: ProgressDone, Phase: rs.phase, Iteration: res.TotalIterations, Modularity: res.Modularity, Vertices: rs.cur.GlobalN})
 	return res, nil
 }
 

@@ -22,8 +22,9 @@ type cinfo struct {
 // shares its partition: rank owner(c) maintains the authoritative (A_c,
 // size) entry for community c.
 type phaseState struct {
-	dg  *dgraph.DistGraph
-	cfg *Config
+	dg    *dgraph.DistGraph
+	cfg   *Config
+	phase int // phase index within the run (progress reporting)
 
 	comm      []int64 // community of each local vertex (global IDs)
 	ghostComm []int64 // community of each ghost vertex (parallel dg.Ghosts)
@@ -60,7 +61,7 @@ type phaseState struct {
 func newPhaseState(dg *dgraph.DistGraph, cfg *Config, phaseIdx int, steps *StepTimes) (*phaseState, error) {
 	n := dg.LocalN
 	st := &phaseState{
-		dg: dg, cfg: cfg,
+		dg: dg, cfg: cfg, phase: phaseIdx,
 		comm:       make([]int64, n),
 		ghostComm:  make([]int64, len(dg.Ghosts)),
 		cA:         make([]float64, n),

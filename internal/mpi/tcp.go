@@ -250,12 +250,20 @@ func DialTCPWorld(cfg TCPWorldConfig) (Transport, error) {
 	}()
 
 	// Dial lower-ranked peers, retrying until the deadline to tolerate
-	// ranks that start listening at slightly different times.
+	// ranks that start listening at slightly different times. Retries back
+	// off exponentially with jitter: a supervised world relaunching after a
+	// failure has every rank redialing at once, and a fixed-interval spin
+	// would hammer a listener that is slow to come back in lockstep.
 	for peer := 0; peer < cfg.Rank; peer++ {
 		go func(peer int) {
 			var lastErr error
 			end := time.Now().Add(deadline)
-			for time.Now().Before(end) {
+			backoff := 10 * time.Millisecond
+			const maxDialBackoff = 2 * time.Second
+			// Private splitmix64 stream: distinct per (rank, peer) so the
+			// world's retry schedules decorrelate without global RNG state.
+			jrng := (uint64(cfg.Rank)<<32 | uint64(peer)) * 0x9e3779b97f4a7c15
+			for {
 				conn, err := net.DialTimeout("tcp", cfg.Addrs[peer], dialTimeout)
 				if err == nil {
 					var hs [4]byte
@@ -267,7 +275,21 @@ func DialTCPWorld(cfg TCPWorldConfig) (Transport, error) {
 					conn.Close()
 				}
 				lastErr = err
-				time.Sleep(50 * time.Millisecond)
+				jrng += 0x9e3779b97f4a7c15
+				z := jrng
+				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+				z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+				z ^= z >> 31
+				// Sleep uniformly in [backoff/2, backoff), truncated at the
+				// rendezvous deadline.
+				sleep := backoff/2 + time.Duration(z%uint64(backoff/2))
+				if remaining := time.Until(end); sleep >= remaining {
+					break
+				}
+				time.Sleep(sleep)
+				if backoff *= 2; backoff > maxDialBackoff {
+					backoff = maxDialBackoff
+				}
 			}
 			results <- dialed{err: fmt.Errorf("mpi: rank %d dial rank %d (%s): %w", cfg.Rank, peer, cfg.Addrs[peer], lastErr)}
 		}(peer)

@@ -1,0 +1,76 @@
+// Package supervisor implements the self-healing supervision layer: it owns
+// the lifetime of a world of Louvain ranks (in-process goroutine worlds and
+// tcp-local child processes alike) and drives them to completion without
+// operator intervention.
+//
+// Ranks emit lightweight progress beacons (phase, iteration, modularity,
+// checkpoint committed) over a control channel. A phi-style accrual failure
+// detector distinguishes crashed ranks (process exit / connection loss,
+// observed by the launcher), hung ranks (beacon silence beyond an adaptive
+// window derived from the observed iteration cadence) and slow-but-alive
+// ranks. On a retryable failure the supervisor kills the remaining world,
+// picks the latest committed checkpoint and relaunches via core.Resume with
+// exponential backoff plus jitter under a configurable restart budget —
+// degrading to a smaller rank count (elastic resume) when the world
+// repeatedly fails to come back at its current size.
+package supervisor
+
+import (
+	"os"
+
+	"distlouvain/internal/core"
+)
+
+// Kind labels one beacon event.
+type Kind string
+
+// Beacon kinds, in the order a healthy rank emits them.
+const (
+	KindHello      Kind = "hello"       // control channel established; no progress yet
+	KindPhaseStart Kind = "phase-start" // a phase's iteration loop is about to run
+	KindIteration  Kind = "iteration"   // one Louvain iteration completed
+	KindCheckpoint Kind = "checkpoint"  // a phase snapshot committed world-wide
+	KindDone       Kind = "done"        // the rank's run finished cleanly
+)
+
+// Beacon is one lightweight progress report from a rank. Everything except
+// Rank/PID mirrors core.ProgressEvent; the struct is kept flat and small
+// because it crosses a process boundary as one JSON line per event.
+type Beacon struct {
+	Rank       int     `json:"rank"`
+	PID        int     `json:"pid,omitempty"` // emitting process (0 for in-process ranks)
+	Kind       Kind    `json:"kind"`
+	Phase      int     `json:"phase"`
+	Iteration  int     `json:"iter,omitempty"`
+	Modularity float64 `json:"q"`
+}
+
+// CoreProgress adapts a beacon sink to core's Progress hook: install the
+// returned function as Config.Progress and every run milestone becomes a
+// beacon. pid may be 0 for in-process ranks.
+func CoreProgress(rank, pid int, emit func(Beacon)) func(core.ProgressEvent) {
+	return func(ev core.ProgressEvent) {
+		var k Kind
+		switch ev.Kind {
+		case core.ProgressPhaseStart:
+			k = KindPhaseStart
+		case core.ProgressIteration:
+			k = KindIteration
+		case core.ProgressCheckpoint:
+			k = KindCheckpoint
+		case core.ProgressDone:
+			k = KindDone
+		default:
+			return // unknown milestone from a newer core: not a liveness signal
+		}
+		emit(Beacon{Rank: rank, PID: pid, Kind: k, Phase: ev.Phase, Iteration: ev.Iteration, Modularity: ev.Modularity})
+	}
+}
+
+// EnvBeaconAddr names the environment variable through which a supervising
+// parent hands child rank processes the control-channel address.
+const EnvBeaconAddr = "DLOUVAIN_BEACON"
+
+// BeaconAddrFromEnv returns the control-channel address a supervising parent
+// installed, or "" when the process is unsupervised.
+func BeaconAddrFromEnv() string { return os.Getenv(EnvBeaconAddr) }

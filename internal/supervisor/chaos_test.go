@@ -1,0 +1,355 @@
+package supervisor_test
+
+// Chaos suite: drive the real distributed Louvain pipeline under a
+// Supervisor while injecting crashes and hangs at deterministic points in
+// the run (progress milestones, not wall-clock), and assert the supervised
+// run converges to the bit-identical result of an undisturbed one.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distlouvain/internal/ckpt"
+	"distlouvain/internal/core"
+	"distlouvain/internal/dgraph"
+	"distlouvain/internal/gen"
+	"distlouvain/internal/gio"
+	"distlouvain/internal/graph"
+	"distlouvain/internal/mpi"
+	"distlouvain/internal/supervisor"
+)
+
+// chaosAction is what the injection hook tells a rank to do at a milestone.
+type chaosAction int
+
+const (
+	chaosNone chaosAction = iota
+	chaosKill             // FaultTransport.Kill: abrupt simulated crash
+	chaosHang             // block inside the progress hook until the world dies
+)
+
+// chaosLauncher runs real core ranks on an in-process world, with an inject
+// hook consulted at every progress milestone. Injection is deterministic in
+// (attempt, rank, event) — no wall-clock calibration anywhere.
+type chaosLauncher struct {
+	n      int64
+	edges  []graph.RawEdge
+	cfg    core.Config
+	inject func(attempt, rank int, ev core.ProgressEvent) chaosAction
+
+	mu     sync.Mutex
+	result *core.Result
+	specs  []supervisor.LaunchSpec
+}
+
+type chaosAttempt struct {
+	world     *mpi.InprocWorld
+	killCh    chan struct{} // closed on Kill: unblocks chaosHang hooks
+	interrupt atomic.Bool
+	done      chan struct{}
+	err       error
+	killOnce  sync.Once
+}
+
+func (a *chaosAttempt) Wait() error { <-a.done; return a.err }
+func (a *chaosAttempt) Kill() {
+	a.killOnce.Do(func() {
+		close(a.killCh)
+		a.world.Close()
+	})
+}
+func (a *chaosAttempt) Interrupt() { a.interrupt.Store(true) }
+
+func (l *chaosLauncher) Launch(spec supervisor.LaunchSpec, beacons func(supervisor.Beacon)) (supervisor.Attempt, error) {
+	world, err := mpi.NewInprocWorld(spec.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.specs = append(l.specs, spec)
+	l.mu.Unlock()
+	a := &chaosAttempt{world: world, killCh: make(chan struct{}), done: make(chan struct{})}
+	go l.run(a, spec, beacons)
+	return a, nil
+}
+
+func (l *chaosLauncher) run(a *chaosAttempt, spec supervisor.LaunchSpec, beacons func(supervisor.Beacon)) {
+	defer close(a.done)
+	defer a.world.Close()
+	p := spec.Ranks
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ft := mpi.NewFaultTransport(a.world.Endpoint(r), mpi.FaultPlan{})
+			emit := supervisor.CoreProgress(r, 0, beacons)
+			cfg := l.cfg
+			cfg.GatherOutput = true
+			cfg.Interrupted = a.interrupt.Load
+			cfg.Progress = func(ev core.ProgressEvent) {
+				switch l.inject(spec.Attempt, r, ev) {
+				case chaosKill:
+					ft.Kill()
+				case chaosHang:
+					<-a.killCh // beacon-silent until the supervisor kills us
+				}
+				emit(ev)
+			}
+			c := mpi.NewComm(ft)
+			var res *core.Result
+			var err error
+			if spec.Resume {
+				res, err = core.Resume(c, cfg.CheckpointDir, cfg)
+			} else {
+				lo, hi := gio.SegmentRange(int64(len(l.edges)), r, p)
+				var dg *dgraph.DistGraph
+				dg, err = dgraph.Build(c, l.n, l.edges[lo:hi], nil)
+				if err == nil {
+					res, err = core.Run(dg, cfg)
+				}
+			}
+			if err != nil {
+				errs[r] = err
+				a.world.Close()
+				return
+			}
+			if r == 0 {
+				l.mu.Lock()
+				l.result = res
+				l.mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	a.err = chaosWorldError(errs)
+}
+
+// chaosWorldError mirrors the launcher error selection in cmd/dlouvain:
+// fatal beats retryable beats ErrClosed teardown collateral.
+func chaosWorldError(errs []error) error {
+	var retry, collateral error
+	for r, e := range errs {
+		if e == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("rank %d: %w", r, e)
+		switch {
+		case chaosRetryable(e):
+			if retry == nil {
+				retry = wrapped
+			}
+		case errors.Is(e, mpi.ErrClosed):
+			if collateral == nil {
+				collateral = wrapped
+			}
+		default:
+			return wrapped
+		}
+	}
+	if retry != nil {
+		return retry
+	}
+	return collateral
+}
+
+func chaosRetryable(err error) bool {
+	var pl *mpi.ErrPeerLost
+	return errors.As(err, &pl) ||
+		errors.Is(err, mpi.ErrKilled) ||
+		errors.Is(err, os.ErrDeadlineExceeded) ||
+		errors.Is(err, core.ErrInterrupted)
+}
+
+// superviseChaos runs the supervised world and returns rank 0's result from
+// the surviving attempt plus the launch specs the supervisor issued.
+func superviseChaos(t *testing.T, p int, cfg core.Config, n int64, edges []graph.RawEdge,
+	inject func(attempt, rank int, ev core.ProgressEvent) chaosAction) (*core.Result, []supervisor.LaunchSpec) {
+	t.Helper()
+	l := &chaosLauncher{n: n, edges: edges, cfg: cfg, inject: inject}
+	sup := supervisor.New(l, supervisor.Options{
+		Policy: supervisor.Policy{
+			MaxRestarts: 5,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  5 * time.Millisecond,
+			MinRanks:    1,
+		},
+		// The graphs here iterate in well under a millisecond, so even the
+		// clamped 20ms window is dozens of missed beacons.
+		Detector:      supervisor.DetectorConfig{MinWindow: 20 * time.Millisecond, MaxWindow: 200 * time.Millisecond},
+		Poll:          5 * time.Millisecond,
+		Retryable:     chaosRetryable,
+		HasCheckpoint: func() bool { _, err := ckpt.ReadManifest(cfg.CheckpointDir); return err == nil },
+		Logf:          t.Logf,
+	})
+	if err := sup.Run(p, false); err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.result == nil {
+		t.Fatal("supervisor reported success but no rank-0 result was recorded")
+	}
+	return l.result, append([]supervisor.LaunchSpec(nil), l.specs...)
+}
+
+// identicalOutcome asserts the supervised run retraced the undisturbed run
+// bit-for-bit.
+func identicalOutcome(t *testing.T, label string, got, want *core.Result) {
+	t.Helper()
+	if !slices.Equal(got.GlobalComm, want.GlobalComm) {
+		t.Fatalf("%s: assignment differs from undisturbed run", label)
+	}
+	if math.Float64bits(got.Modularity) != math.Float64bits(want.Modularity) {
+		t.Fatalf("%s: modularity %v != undisturbed %v", label, got.Modularity, want.Modularity)
+	}
+	if got.Communities != want.Communities {
+		t.Fatalf("%s: %d communities, undisturbed found %d", label, got.Communities, want.Communities)
+	}
+}
+
+// chaosGraph returns a graph whose baseline run has at least 2 phases, so a
+// phase-boundary checkpoint exists for mid-run chaos to resume from.
+func chaosGraph(t *testing.T) (int64, []graph.RawEdge, *core.Result) {
+	t.Helper()
+	n, edges := gen.ErdosRenyi(300, 1500, 5)
+	want, err := core.RunOnEdges(3, n, edges, core.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Phases) < 2 {
+		t.Fatalf("baseline converged in %d phase(s); chaos needs a phase boundary", len(want.Phases))
+	}
+	return n, edges, want
+}
+
+// TestChaosKillMidPhase SIGKILL-equivalent: rank 1's transport dies at the
+// third iteration of phase 1 (after the phase-0 checkpoint committed). The
+// supervisor must resume from that checkpoint and converge identically.
+func TestChaosKillMidPhase(t *testing.T) {
+	n, edges, want := chaosGraph(t)
+	cfg := core.Baseline()
+	cfg.CheckpointDir = t.TempDir()
+
+	got, specs := superviseChaos(t, 3, cfg, n, edges, func(attempt, rank int, ev core.ProgressEvent) chaosAction {
+		if attempt == 0 && rank == 1 && ev.Kind == core.ProgressIteration && ev.Phase == 1 && ev.Iteration == 1 {
+			return chaosKill
+		}
+		return chaosNone
+	})
+	identicalOutcome(t, "kill mid-phase", got, want)
+	if len(specs) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(specs))
+	}
+	if !specs[1].Resume {
+		t.Fatal("relaunch after the phase-0 checkpoint must resume, not restart")
+	}
+}
+
+// TestChaosHangAtCollective: rank 2 freezes at the start of phase 1 — its
+// peers block inside the phase's collectives, so no rank can make progress
+// and no error ever surfaces. Only the beacon-silence detector can notice;
+// it must kill the world and resume from the checkpoint.
+func TestChaosHangAtCollective(t *testing.T) {
+	n, edges, want := chaosGraph(t)
+	cfg := core.Baseline()
+	cfg.CheckpointDir = t.TempDir()
+
+	var hung atomic.Bool
+	got, specs := superviseChaos(t, 3, cfg, n, edges, func(attempt, rank int, ev core.ProgressEvent) chaosAction {
+		if attempt == 0 && rank == 2 && ev.Kind == core.ProgressPhaseStart && ev.Phase == 1 {
+			hung.Store(true)
+			return chaosHang
+		}
+		return chaosNone
+	})
+	identicalOutcome(t, "hang at collective", got, want)
+	if !hung.Load() {
+		t.Fatal("hang injection never fired")
+	}
+	if len(specs) != 2 || !specs[1].Resume {
+		t.Fatalf("specs = %+v, want a single resuming relaunch", specs)
+	}
+}
+
+// TestChaosFlapping kill→restart→kill: the world dies on attempt 0 (phase 1)
+// and again on attempt 1 (phase 1, different rank), and must still converge
+// identically on attempt 2 with no operator input.
+func TestChaosFlapping(t *testing.T) {
+	n, edges, want := chaosGraph(t)
+	cfg := core.Baseline()
+	cfg.CheckpointDir = t.TempDir()
+
+	got, specs := superviseChaos(t, 3, cfg, n, edges, func(attempt, rank int, ev core.ProgressEvent) chaosAction {
+		if ev.Kind != core.ProgressIteration || ev.Phase != 1 {
+			return chaosNone
+		}
+		switch {
+		case attempt == 0 && rank == 0 && ev.Iteration == 1:
+			return chaosKill
+		case attempt == 1 && rank == 2 && ev.Iteration == 1:
+			return chaosKill
+		}
+		return chaosNone
+	})
+	identicalOutcome(t, "flapping", got, want)
+	if len(specs) != 3 {
+		t.Fatalf("attempts = %d, want 3 (kill, kill again, converge)", len(specs))
+	}
+	if !specs[1].Resume || !specs[2].Resume {
+		t.Fatalf("specs = %+v, want both relaunches to resume", specs)
+	}
+}
+
+// TestChaosKillBeforeFirstCheckpoint: a crash in phase 0 leaves nothing to
+// resume; the supervisor must relaunch from scratch and still converge
+// identically.
+func TestChaosKillBeforeFirstCheckpoint(t *testing.T) {
+	n, edges, want := chaosGraph(t)
+	cfg := core.Baseline()
+	cfg.CheckpointDir = t.TempDir()
+
+	got, specs := superviseChaos(t, 3, cfg, n, edges, func(attempt, rank int, ev core.ProgressEvent) chaosAction {
+		if attempt == 0 && rank == 0 && ev.Kind == core.ProgressIteration && ev.Phase == 0 && ev.Iteration == 1 {
+			return chaosKill
+		}
+		return chaosNone
+	})
+	identicalOutcome(t, "kill before first checkpoint", got, want)
+	if len(specs) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(specs))
+	}
+	if specs[1].Resume {
+		t.Fatal("no checkpoint existed; the relaunch must restart from scratch")
+	}
+}
+
+// TestChaosDegradedResume: a world that keeps dying at 3 ranks degrades to 2
+// and must still produce the identical answer via elastic resume.
+func TestChaosDegradedResume(t *testing.T) {
+	n, edges, want := chaosGraph(t)
+	cfg := core.Baseline()
+	cfg.CheckpointDir = t.TempDir()
+
+	got, specs := superviseChaos(t, 3, cfg, n, edges, func(attempt, rank int, ev core.ProgressEvent) chaosAction {
+		// Kill every 3-rank attempt once it reaches phase 1 (the phase-0
+		// checkpoint has committed by then); 2-rank attempts run clean.
+		if rank == 2 && ev.Kind == core.ProgressIteration && ev.Phase == 1 && ev.Iteration == 1 {
+			return chaosKill
+		}
+		return chaosNone
+	})
+	identicalOutcome(t, "degraded resume", got, want)
+	last := specs[len(specs)-1]
+	if last.Ranks != 2 || !last.Resume {
+		t.Fatalf("final spec = %+v, want an elastic resume at 2 ranks", last)
+	}
+}

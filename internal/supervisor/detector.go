@@ -1,0 +1,245 @@
+package supervisor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// DetectorConfig tunes the accrual failure detector. The zero value selects
+// production defaults suitable for multi-second phases; tests shrink the
+// windows to keep chaos scenarios fast.
+type DetectorConfig struct {
+	// MinWindow floors the hang window: however fast the observed beacon
+	// cadence, a rank is never suspected before this much silence. It
+	// absorbs legitimate beacon-free stretches (graph rebuild, checkpoint
+	// I/O) that the iteration cadence underestimates. Default 5s.
+	MinWindow time.Duration
+	// MaxWindow caps the hang window and doubles as the bootstrap window
+	// while a rank has too few observations to model (a rank that emits
+	// nothing at all for MaxWindow is declared hung). Default 2m.
+	MaxWindow time.Duration
+	// Phi is the suspicion threshold in standard deviations of the
+	// observed inter-beacon gap: silence beyond mean + Phi·σ is a hang.
+	// Default 8 — the conventional phi-accrual "virtually no false
+	// positives" operating point.
+	Phi float64
+	// Samples is the sliding-window size of the per-rank gap model.
+	// Default 64: long enough to smooth one phase's cadence, short enough
+	// to re-adapt when coarsening makes iterations abruptly cheaper.
+	Samples int
+}
+
+func (c *DetectorConfig) fill() {
+	if c.MinWindow <= 0 {
+		c.MinWindow = 5 * time.Second
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = 2 * time.Minute
+	}
+	if c.MaxWindow < c.MinWindow {
+		c.MaxWindow = c.MinWindow
+	}
+	if c.Phi <= 0 {
+		c.Phi = 8
+	}
+	if c.Samples <= 0 {
+		c.Samples = 64
+	}
+}
+
+// State is the detector's verdict on one rank.
+type State int
+
+// Rank states, ordered by increasing suspicion.
+const (
+	StateAlive   State = iota // beacons arriving within the expected cadence
+	StateSlow    State = iota // silent past half the hang window: lagging, not yet condemned
+	StateSuspect State = iota // silent past the hang window: presumed hung
+	StateDone    State = iota // emitted KindDone; exempt from suspicion forever
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSlow:
+		return "slow"
+	case StateSuspect:
+		return "suspect"
+	case StateDone:
+		return "done"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Suspect describes one rank the detector has condemned.
+type Suspect struct {
+	Rank   int
+	Silent time.Duration // how long the rank has been beacon-silent
+	Window time.Duration // the adaptive window it exceeded
+}
+
+func (s Suspect) String() string {
+	return fmt.Sprintf("rank %d silent %v (window %v)", s.Rank, s.Silent.Round(time.Millisecond), s.Window.Round(time.Millisecond))
+}
+
+// rankTrack models one rank's inter-beacon gaps with a sliding window,
+// maintained incrementally so Suspects stays O(ranks).
+type rankTrack struct {
+	last       time.Time
+	done       bool
+	gaps       []float64 // seconds; ring buffer
+	idx, n     int
+	sum, sumSq float64
+}
+
+func (r *rankTrack) push(gap float64, cap int) {
+	if r.n == cap {
+		old := r.gaps[r.idx]
+		r.sum -= old
+		r.sumSq -= old * old
+	} else {
+		r.n++
+	}
+	r.gaps[r.idx] = gap
+	r.idx = (r.idx + 1) % cap
+	r.sum += gap
+	r.sumSq += gap * gap
+}
+
+// Detector is a phi-style accrual failure detector over beacon arrivals: it
+// learns each rank's beacon cadence and condemns a rank whose silence is
+// statistically incompatible with it. Unlike a fixed timeout flag, the
+// window derives from the run's own observed iteration times, so the same
+// detector works for millisecond toy graphs and minute-long phases at scale.
+//
+// All methods are safe for concurrent use; Observe is called from beacon
+// readers while Suspects is polled by the supervision loop.
+type Detector struct {
+	cfg DetectorConfig
+
+	mu    sync.Mutex
+	ranks map[int]*rankTrack
+}
+
+// NewDetector builds a detector with the given tuning.
+func NewDetector(cfg DetectorConfig) *Detector {
+	cfg.fill()
+	return &Detector{cfg: cfg, ranks: make(map[int]*rankTrack)}
+}
+
+// Observe records a beacon arrival from rank at time now.
+func (d *Detector) Observe(rank int, now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.ranks[rank]
+	if t == nil {
+		t = &rankTrack{gaps: make([]float64, d.cfg.Samples)}
+		d.ranks[rank] = t
+	} else if gap := now.Sub(t.last).Seconds(); gap > 0 {
+		t.push(gap, d.cfg.Samples)
+	}
+	if now.After(t.last) {
+		t.last = now
+	}
+}
+
+// Done marks a rank as finished: it will never be suspected again, however
+// long it stays silent (a finished rank legitimately falls quiet while its
+// peers drain).
+func (d *Detector) Done(rank int, now time.Time) {
+	d.Observe(rank, now)
+	d.mu.Lock()
+	d.ranks[rank].done = true
+	d.mu.Unlock()
+}
+
+// window computes the rank's adaptive hang window; callers hold d.mu.
+func (d *Detector) window(t *rankTrack) time.Duration {
+	if t.n < 3 {
+		return d.cfg.MaxWindow // bootstrap: no cadence model yet
+	}
+	n := float64(t.n)
+	mean := t.sum / n
+	variance := t.sumSq/n - mean*mean
+	std := math.Sqrt(math.Max(variance, 0))
+	// Floor σ at a fraction of the mean (and an absolute millisecond):
+	// a perfectly regular cadence would otherwise produce a hair-trigger
+	// zero-variance window.
+	std = math.Max(std, math.Max(mean/4, 1e-3))
+	w := time.Duration((mean + d.cfg.Phi*std) * float64(time.Second))
+	return min(max(w, d.cfg.MinWindow), d.cfg.MaxWindow)
+}
+
+// Window exposes the current adaptive hang window of one rank (MaxWindow
+// until the rank has been observed enough to model).
+func (d *Detector) Window(rank int) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.ranks[rank]
+	if t == nil {
+		return d.cfg.MaxWindow
+	}
+	return d.window(t)
+}
+
+// State classifies one rank at time now.
+func (d *Detector) State(rank int, now time.Time) State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.ranks[rank]
+	if t == nil {
+		return StateAlive // never observed: bootstrap grace
+	}
+	return d.state(t, now)
+}
+
+func (d *Detector) state(t *rankTrack, now time.Time) State {
+	if t.done {
+		return StateDone
+	}
+	silent := now.Sub(t.last)
+	w := d.window(t)
+	switch {
+	case silent > w:
+		return StateSuspect
+	case silent > w/2:
+		return StateSlow
+	default:
+		return StateAlive
+	}
+}
+
+// Suspects returns every rank condemned as hung at time now, lowest rank
+// first (the map iteration is sorted for deterministic diagnostics).
+func (d *Detector) Suspects(now time.Time) []Suspect {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []Suspect
+	for rank, t := range d.ranks {
+		if d.state(t, now) == StateSuspect {
+			out = append(out, Suspect{Rank: rank, Silent: now.Sub(t.last), Window: d.window(t)})
+		}
+	}
+	sortSuspects(out)
+	return out
+}
+
+func sortSuspects(s []Suspect) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Rank < s[j-1].Rank; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Reset discards every rank model. The supervisor calls it between attempts
+// so a relaunched world starts from the bootstrap window instead of being
+// judged by its predecessor's cadence.
+func (d *Detector) Reset() {
+	d.mu.Lock()
+	d.ranks = make(map[int]*rankTrack)
+	d.mu.Unlock()
+}

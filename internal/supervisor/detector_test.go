@@ -1,0 +1,132 @@
+package supervisor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDetectorBootstrapWindow(t *testing.T) {
+	d := NewDetector(DetectorConfig{MinWindow: 10 * time.Millisecond, MaxWindow: time.Second})
+	t0 := time.Unix(1000, 0)
+	d.Observe(0, t0)
+
+	// With no cadence model the rank gets the full bootstrap window.
+	if w := d.Window(0); w != time.Second {
+		t.Fatalf("bootstrap window = %v, want MaxWindow", w)
+	}
+	if st := d.State(0, t0.Add(900*time.Millisecond)); st != StateSlow {
+		t.Fatalf("state inside bootstrap window = %v, want slow", st)
+	}
+	if st := d.State(0, t0.Add(1100*time.Millisecond)); st != StateSuspect {
+		t.Fatalf("state past bootstrap window = %v, want suspect", st)
+	}
+	// A rank never observed at all stays in bootstrap grace.
+	if st := d.State(9, t0.Add(time.Hour)); st != StateAlive {
+		t.Fatalf("unobserved rank state = %v, want alive", st)
+	}
+}
+
+func TestDetectorAdaptiveWindow(t *testing.T) {
+	d := NewDetector(DetectorConfig{MinWindow: time.Millisecond, MaxWindow: time.Hour, Phi: 8})
+	t0 := time.Unix(1000, 0)
+	// A steady 100ms beacon cadence.
+	now := t0
+	for i := 0; i < 20; i++ {
+		d.Observe(0, now)
+		now = now.Add(100 * time.Millisecond)
+	}
+	w := d.Window(0)
+	// Zero-variance cadence: σ floors at mean/4, so w = mean + 8·mean/4 = 3·mean.
+	if want := 300 * time.Millisecond; w != want {
+		t.Fatalf("adaptive window = %v, want %v", w, want)
+	}
+	last := now.Add(-100 * time.Millisecond) // time of the final Observe
+	if st := d.State(0, last.Add(200*time.Millisecond)); st != StateSlow {
+		t.Fatalf("state at 200ms silence = %v, want slow", st)
+	}
+	if st := d.State(0, last.Add(301*time.Millisecond)); st != StateSuspect {
+		t.Fatalf("state at 301ms silence = %v, want suspect", st)
+	}
+
+	// The window clamps to MinWindow from below...
+	fast := NewDetector(DetectorConfig{MinWindow: time.Second, MaxWindow: time.Hour})
+	now = t0
+	for i := 0; i < 20; i++ {
+		fast.Observe(0, now)
+		now = now.Add(time.Millisecond)
+	}
+	if w := fast.Window(0); w != time.Second {
+		t.Fatalf("fast cadence window = %v, want MinWindow clamp", w)
+	}
+	// ...and to MaxWindow from above.
+	slow := NewDetector(DetectorConfig{MinWindow: time.Millisecond, MaxWindow: 2 * time.Second})
+	now = t0
+	for i := 0; i < 20; i++ {
+		slow.Observe(0, now)
+		now = now.Add(10 * time.Second)
+	}
+	if w := slow.Window(0); w != 2*time.Second {
+		t.Fatalf("slow cadence window = %v, want MaxWindow clamp", w)
+	}
+}
+
+func TestDetectorDoneExemption(t *testing.T) {
+	d := NewDetector(DetectorConfig{MinWindow: time.Millisecond, MaxWindow: 50 * time.Millisecond})
+	t0 := time.Unix(1000, 0)
+	d.Observe(0, t0)
+	d.Done(1, t0)
+
+	late := t0.Add(time.Hour)
+	if st := d.State(1, late); st != StateDone {
+		t.Fatalf("done rank state = %v, want done", st)
+	}
+	sus := d.Suspects(late)
+	if len(sus) != 1 || sus[0].Rank != 0 {
+		t.Fatalf("suspects = %v, want only rank 0", sus)
+	}
+}
+
+func TestDetectorSuspectsSortedAndReset(t *testing.T) {
+	d := NewDetector(DetectorConfig{MinWindow: time.Millisecond, MaxWindow: 10 * time.Millisecond})
+	t0 := time.Unix(1000, 0)
+	for _, r := range []int{5, 1, 3} {
+		d.Observe(r, t0)
+	}
+	sus := d.Suspects(t0.Add(time.Minute))
+	if len(sus) != 3 {
+		t.Fatalf("suspects = %v, want 3", sus)
+	}
+	for i, want := range []int{1, 3, 5} {
+		if sus[i].Rank != want {
+			t.Fatalf("suspects order = %v, want ranks 1,3,5", sus)
+		}
+		if sus[i].Silent < time.Minute || sus[i].Window <= 0 {
+			t.Fatalf("suspect diagnostics incomplete: %+v", sus[i])
+		}
+	}
+
+	d.Reset()
+	if sus := d.Suspects(t0.Add(time.Hour)); len(sus) != 0 {
+		t.Fatalf("suspects after reset = %v, want none", sus)
+	}
+}
+
+func TestDetectorWindowReadaptsAfterRegimeChange(t *testing.T) {
+	// A cadence that abruptly becomes 10x cheaper (coarsened graph) must
+	// shrink the window once the sliding window rolls over.
+	d := NewDetector(DetectorConfig{MinWindow: time.Millisecond, MaxWindow: time.Hour, Samples: 8})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		d.Observe(0, now)
+		now = now.Add(time.Second)
+	}
+	wide := d.Window(0)
+	for i := 0; i < 10; i++ {
+		d.Observe(0, now)
+		now = now.Add(100 * time.Millisecond)
+	}
+	narrow := d.Window(0)
+	if narrow >= wide {
+		t.Fatalf("window did not re-adapt: %v -> %v", wide, narrow)
+	}
+}

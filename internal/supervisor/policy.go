@@ -1,0 +1,80 @@
+package supervisor
+
+import (
+	"time"
+)
+
+// Policy governs how the supervisor restarts a failed world: how many times,
+// how long to wait between attempts, and when to give up on the current rank
+// count and degrade to a smaller world.
+type Policy struct {
+	// MaxRestarts is the relaunch budget for the whole run; exceeding it
+	// fails the run with an ExhaustedError. ≤0 selects 5.
+	MaxRestarts int
+	// BaseBackoff is the first restart delay; each further consecutive
+	// failure doubles it up to MaxBackoff, with uniform jitter in
+	// [d/2, d) so relaunching ranks don't stampede shared infrastructure.
+	// ≤0 selects 500ms (and 30s for MaxBackoff).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// DegradeAfter is the number of consecutive failures at one rank count
+	// after which the supervisor concludes the world cannot come back at
+	// that size and shrinks it by one rank (elastic resume re-splits the
+	// checkpoint). ≤0 selects 2.
+	DegradeAfter int
+	// MinRanks floors the degradation; needing to shrink below it fails
+	// the run with a MinRanksError. ≤0 selects 1.
+	MinRanks int
+	// Seed drives the jitter stream; runs with equal seeds back off
+	// identically (0 selects 1).
+	Seed uint64
+}
+
+func (p *Policy) fill() {
+	if p.MaxRestarts <= 0 {
+		p.MaxRestarts = 5
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 500 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 30 * time.Second
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	if p.DegradeAfter <= 0 {
+		p.DegradeAfter = 2
+	}
+	if p.MinRanks <= 0 {
+		p.MinRanks = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// Backoff returns the jittered delay before restart number `restart`
+// (1-based), counted over consecutive failures: BaseBackoff doubling per
+// restart, capped at MaxBackoff, jittered uniformly into [d/2, d). The
+// value is deterministic in (Seed, restart).
+func (p Policy) Backoff(restart int) time.Duration {
+	p.fill()
+	if restart < 1 {
+		restart = 1
+	}
+	d := p.BaseBackoff
+	for i := 1; i < restart && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	// splitmix64 over (Seed, restart): stateless, so Backoff is a pure
+	// function the tests can pin down.
+	z := p.Seed + uint64(restart)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d/2 + time.Duration(z%uint64(d/2))
+}

@@ -1,0 +1,71 @@
+package supervisor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowthAndJitterBounds(t *testing.T) {
+	p := Policy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Seed: 7}
+	prevCeil := time.Duration(0)
+	for restart := 1; restart <= 8; restart++ {
+		d := p.Backoff(restart)
+		// Un-jittered ceiling for this restart: base·2^(restart-1), capped.
+		ceil := 100 * time.Millisecond
+		for i := 1; i < restart && ceil < time.Second; i++ {
+			ceil *= 2
+		}
+		if ceil > time.Second {
+			ceil = time.Second
+		}
+		if d < ceil/2 || d >= ceil {
+			t.Fatalf("restart %d: backoff %v outside [%v, %v)", restart, d, ceil/2, ceil)
+		}
+		if ceil < prevCeil {
+			t.Fatalf("ceiling shrank: %v -> %v", prevCeil, ceil)
+		}
+		prevCeil = ceil
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	a := Policy{BaseBackoff: 50 * time.Millisecond, Seed: 3}
+	b := Policy{BaseBackoff: 50 * time.Millisecond, Seed: 3}
+	c := Policy{BaseBackoff: 50 * time.Millisecond, Seed: 4}
+	differ := false
+	for r := 1; r <= 5; r++ {
+		if a.Backoff(r) != b.Backoff(r) {
+			t.Fatalf("restart %d: same seed, different backoff", r)
+		}
+		if a.Backoff(r) != c.Backoff(r) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("different seeds never produced different jitter")
+	}
+}
+
+func TestBackoffClampsBadInput(t *testing.T) {
+	var p Policy // all defaults
+	if d := p.Backoff(0); d < 250*time.Millisecond || d >= 500*time.Millisecond {
+		t.Fatalf("restart 0 backoff %v outside default first-restart range", d)
+	}
+	if d := p.Backoff(100); d >= 30*time.Second {
+		t.Fatalf("huge restart count escaped MaxBackoff: %v", d)
+	}
+}
+
+func TestPolicyFillDefaults(t *testing.T) {
+	var p Policy
+	p.fill()
+	if p.MaxRestarts != 5 || p.BaseBackoff != 500*time.Millisecond ||
+		p.MaxBackoff != 30*time.Second || p.DegradeAfter != 2 || p.MinRanks != 1 || p.Seed != 1 {
+		t.Fatalf("unexpected defaults: %+v", p)
+	}
+	q := Policy{BaseBackoff: time.Minute}
+	q.fill()
+	if q.MaxBackoff != time.Minute {
+		t.Fatalf("MaxBackoff %v not lifted to BaseBackoff", q.MaxBackoff)
+	}
+}

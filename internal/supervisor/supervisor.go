@@ -1,0 +1,286 @@
+package supervisor
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LaunchSpec describes one attempt the supervisor asks a Launcher to start.
+type LaunchSpec struct {
+	Ranks  int  // world size of this attempt (may shrink across attempts)
+	Resume bool // continue from the latest committed checkpoint
+	// Attempt counts attempts from 0. Launchers use it to scope
+	// first-attempt-only behaviour (fault injection, chaos triggers).
+	Attempt int
+}
+
+// Attempt is one running world under supervision.
+type Attempt interface {
+	// Wait blocks until every rank has terminated and returns nil on
+	// success or the most meaningful failure (root cause preferred over
+	// teardown collateral).
+	Wait() error
+	// Kill hard-stops every rank (SIGKILL for processes, closing the
+	// world for goroutine ranks). Wait returns afterwards. Idempotent.
+	Kill()
+	// Interrupt requests a graceful stop: ranks checkpoint at the next
+	// phase boundary and exit retryable. Idempotent.
+	Interrupt()
+}
+
+// Launcher starts attempts of a world. Implementations exist for in-process
+// goroutine worlds and tcp-local child-process worlds; tests substitute
+// scripted fakes. The beacons sink must receive every rank beacon the
+// attempt produces and is safe for concurrent use; the launcher must not
+// call it after Wait has returned.
+type Launcher interface {
+	Launch(spec LaunchSpec, beacons func(Beacon)) (Attempt, error)
+}
+
+// Options tunes a Supervisor beyond its restart Policy.
+type Options struct {
+	Policy   Policy
+	Detector DetectorConfig
+	// Poll is the cadence at which the supervision loop consults the
+	// failure detector while an attempt runs. ≤0 selects 250ms.
+	Poll time.Duration
+	// Retryable classifies attempt errors: true means the failure is
+	// transient (crashed peer, expired deadline, interrupt) and the world
+	// should relaunch from the latest checkpoint. nil treats every error
+	// as fatal. Supervisor-ordered kills are always retryable regardless.
+	Retryable func(error) bool
+	// HasCheckpoint reports whether a committed checkpoint exists; it
+	// decides whether a relaunch resumes or restarts from scratch. nil
+	// means restart from scratch.
+	HasCheckpoint func() bool
+	// Logf receives supervision progress lines; nil discards them.
+	Logf func(format string, args ...any)
+	// OnBeacon observes every beacon after the detector has (verbose
+	// progress displays); nil disables.
+	OnBeacon func(Beacon)
+}
+
+// HangError reports a world the supervisor killed because its beacons went
+// silent: the detector's condemned ranks plus whatever error the teardown
+// surfaced. It is always retryable.
+type HangError struct {
+	Suspects []Suspect
+	Cause    error // world error observed after the kill, if any
+}
+
+func (e *HangError) Error() string {
+	parts := make([]string, len(e.Suspects))
+	for i, s := range e.Suspects {
+		parts[i] = s.String()
+	}
+	msg := "supervisor: world hung: " + strings.Join(parts, "; ")
+	if e.Cause != nil {
+		msg += fmt.Sprintf(" (world reported after kill: %v)", e.Cause)
+	}
+	return msg
+}
+
+func (e *HangError) Unwrap() error { return e.Cause }
+
+// ExhaustedError reports a run that failed more times than the restart
+// budget allows. It is fatal: an operator must look at the recurring cause.
+type ExhaustedError struct {
+	Restarts int   // restarts consumed (== Policy.MaxRestarts)
+	Last     error // the failure that broke the budget
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("supervisor: restart budget exhausted (%d restarts used); last failure: %v", e.Restarts, e.Last)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// MinRanksError reports a world that kept failing until degrading further
+// would violate the configured rank floor. It is fatal.
+type MinRanksError struct {
+	Ranks    int   // rank count that kept failing
+	MinRanks int   // the floor that blocked further degradation
+	Last     error // the failure that forced the decision
+}
+
+func (e *MinRanksError) Error() string {
+	return fmt.Sprintf("supervisor: world keeps failing at %d ranks and degrading further would violate the %d-rank floor; last failure: %v", e.Ranks, e.MinRanks, e.Last)
+}
+
+func (e *MinRanksError) Unwrap() error { return e.Last }
+
+// Supervisor drives a world of ranks to completion without operator
+// intervention: launch, watch beacons, kill hung worlds, relaunch retryable
+// failures from the latest checkpoint with backoff, degrade the rank count
+// when a size repeatedly fails, and give up with a precise diagnosis when
+// the budget runs out.
+type Supervisor struct {
+	launcher Launcher
+	opt      Options
+	det      *Detector
+
+	mu       sync.Mutex
+	cur      Attempt
+	gen      int // attempt generation; stale beacon sinks are ignored
+	stopping bool
+}
+
+// New builds a supervisor over the given launcher.
+func New(l Launcher, opt Options) *Supervisor {
+	opt.Policy.fill()
+	opt.Detector.fill()
+	if opt.Poll <= 0 {
+		opt.Poll = 250 * time.Millisecond
+	}
+	return &Supervisor{launcher: l, opt: opt, det: NewDetector(opt.Detector)}
+}
+
+// Interrupt requests a graceful shutdown of the supervised run: the current
+// attempt is asked to checkpoint and exit, and no further restarts happen.
+// Run then returns the attempt's (retryable) error so the caller can report
+// a resumable exit.
+func (s *Supervisor) Interrupt() {
+	s.mu.Lock()
+	s.stopping = true
+	att := s.cur
+	s.mu.Unlock()
+	s.logf("supervisor: interrupt requested; stopping after the current attempt")
+	if att != nil {
+		att.Interrupt()
+	}
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// Run supervises the world to completion, starting at `ranks` ranks, with
+// the first attempt resuming iff resume is set. It returns nil once an
+// attempt completes, the attempt's error when it is fatal or an interrupt
+// stopped the run, an *ExhaustedError when the restart budget runs out, or
+// a *MinRanksError when degradation hits the rank floor.
+func (s *Supervisor) Run(ranks int, resume bool) error {
+	pol := s.opt.Policy
+	restarts := 0 // total relaunches consumed (budget)
+	consec := 0   // consecutive failures at the current rank count
+	for {
+		s.det.Reset()
+		spec := LaunchSpec{Ranks: ranks, Resume: resume, Attempt: restarts + 0}
+		s.mu.Lock()
+		s.gen++
+		gen := s.gen
+		s.mu.Unlock()
+		now := time.Now()
+		for r := 0; r < ranks; r++ {
+			// Bootstrap observation: a world that never beacons at all is
+			// condemned once the bootstrap window expires.
+			s.det.Observe(r, now)
+		}
+		s.logf("supervisor: attempt %d: launching %d ranks (resume=%v)", spec.Attempt, ranks, resume)
+		att, err := s.launcher.Launch(spec, func(b Beacon) { s.observe(gen, b) })
+		var aerr error
+		var hung bool
+		if err != nil {
+			aerr = fmt.Errorf("supervisor: launch: %w", err)
+		} else {
+			s.mu.Lock()
+			s.cur = att
+			stopping := s.stopping
+			s.mu.Unlock()
+			if stopping {
+				att.Interrupt() // interrupt raced the launch; re-deliver
+			}
+			aerr, hung = s.monitor(att)
+			s.mu.Lock()
+			s.cur = nil
+			s.mu.Unlock()
+		}
+		if aerr == nil {
+			s.logf("supervisor: world completed after %d restart(s)", restarts)
+			return nil
+		}
+		s.mu.Lock()
+		stopping := s.stopping
+		s.mu.Unlock()
+		if stopping {
+			s.logf("supervisor: stopped by interrupt: %v", aerr)
+			return aerr
+		}
+		if !hung && (s.opt.Retryable == nil || !s.opt.Retryable(aerr)) {
+			s.logf("supervisor: fatal failure, not restarting: %v", aerr)
+			return aerr
+		}
+		if restarts >= pol.MaxRestarts {
+			return &ExhaustedError{Restarts: restarts, Last: aerr}
+		}
+		restarts++
+		consec++
+		if consec >= pol.DegradeAfter {
+			if ranks-1 < pol.MinRanks {
+				return &MinRanksError{Ranks: ranks, MinRanks: pol.MinRanks, Last: aerr}
+			}
+			ranks--
+			consec = 0
+			s.logf("supervisor: world failed %d times in a row at this size; degrading to %d ranks", pol.DegradeAfter, ranks)
+		}
+		d := pol.Backoff(consec + 1)
+		s.logf("supervisor: restart %d/%d in %v (cause: %v)", restarts, pol.MaxRestarts, d.Round(time.Millisecond), aerr)
+		time.Sleep(d)
+		resume = s.opt.HasCheckpoint != nil && s.opt.HasCheckpoint()
+	}
+}
+
+// observe feeds one beacon into the failure detector, dropping beacons from
+// a previous attempt's world that arrive after its teardown.
+func (s *Supervisor) observe(gen int, b Beacon) {
+	s.mu.Lock()
+	stale := gen != s.gen
+	s.mu.Unlock()
+	if stale {
+		return
+	}
+	now := time.Now()
+	if b.Kind == KindDone {
+		s.det.Done(b.Rank, now)
+	} else {
+		s.det.Observe(b.Rank, now)
+	}
+	if s.opt.OnBeacon != nil {
+		s.opt.OnBeacon(b)
+	}
+}
+
+// monitor waits for the attempt while polling the failure detector; a
+// condemned rank gets the whole world killed and the failure reported as a
+// (retryable) HangError.
+func (s *Supervisor) monitor(att Attempt) (error, bool) {
+	done := make(chan error, 1)
+	go func() { done <- att.Wait() }()
+	tick := time.NewTicker(s.opt.Poll)
+	defer tick.Stop()
+	for {
+		select {
+		case err := <-done:
+			return err, false
+		case <-tick.C:
+			sus := s.det.Suspects(time.Now())
+			if len(sus) == 0 {
+				continue
+			}
+			he := &HangError{Suspects: sus}
+			s.logf("%v; killing the world", he)
+			att.Kill()
+			if err := <-done; err != nil {
+				he.Cause = err
+			} else {
+				// The world completed in the kill race; its result stands.
+				return nil, false
+			}
+			return he, true
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package supervisor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// maxBeaconLine bounds one wire beacon; anything longer is a corrupt or
+// hostile stream and drops the connection.
+const maxBeaconLine = 4096
+
+// BeaconServer accepts control-channel connections from rank processes and
+// feeds their decoded beacons to a sink. One server serves a whole world;
+// ranks connect independently and their streams are multiplexed by the Rank
+// field each beacon carries.
+type BeaconServer struct {
+	ln   net.Listener
+	sink func(Beacon)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenBeacons starts a beacon server on addr ("" selects an ephemeral
+// loopback port) delivering decoded beacons to sink. sink is called from
+// connection-reader goroutines and must be safe for concurrent use.
+func ListenBeacons(addr string, sink func(Beacon)) (*BeaconServer, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("supervisor: beacon listen %s: %w", addr, err)
+	}
+	s := &BeaconServer{ln: ln, sink: sink, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the address rank processes should dial (the EnvBeaconAddr
+// value a supervising parent exports).
+func (s *BeaconServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *BeaconServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+// readLoop decodes newline-delimited JSON beacons from one rank connection.
+// Malformed lines are skipped rather than fatal: a beacon stream is advisory
+// — losing it must never be able to take down a healthy computation.
+func (s *BeaconServer) readLoop(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 512), maxBeaconLine)
+	for sc.Scan() {
+		var b Beacon
+		if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
+			continue
+		}
+		s.sink(b)
+	}
+}
+
+// Close stops accepting and tears down every rank connection.
+func (s *BeaconServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// Emitter is the rank-side end of the control channel: it writes one JSON
+// line per beacon. All methods are best-effort — a broken control channel
+// silences the rank's beacons (the supervisor will eventually treat it as
+// hung) but never fails the computation itself.
+type Emitter struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	dead bool
+}
+
+// DialBeacons connects to a supervising parent's beacon server.
+func DialBeacons(addr string) (*Emitter, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("supervisor: dial beacon server %s: %w", addr, err)
+	}
+	return &Emitter{conn: conn, bw: bufio.NewWriterSize(conn, 1024)}, nil
+}
+
+// Emit sends one beacon, stamping this process's PID. Safe for concurrent
+// use; errors permanently silence the emitter instead of propagating.
+func (e *Emitter) Emit(b Beacon) {
+	if b.PID == 0 {
+		b.PID = os.Getpid()
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return
+	}
+	if _, err := e.bw.Write(append(data, '\n')); err != nil {
+		e.dead = true
+		return
+	}
+	if err := e.bw.Flush(); err != nil {
+		e.dead = true
+	}
+}
+
+// Close flushes and closes the control channel.
+func (e *Emitter) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.dead {
+		e.bw.Flush()
+	}
+	e.dead = true
+	e.conn.Close()
+}

@@ -1,0 +1,122 @@
+package supervisor
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBeaconWireRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var got []Beacon
+	srv, err := ListenBeacons("", func(b Beacon) {
+		mu.Lock()
+		got = append(got, b)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	em, err := DialBeacons(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := []Beacon{
+		{Rank: 0, Kind: KindHello},
+		{Rank: 1, Kind: KindIteration, Phase: 2, Iteration: 7, Modularity: 0.5},
+		{Rank: 0, Kind: KindDone, Phase: 3, Modularity: 0.75},
+	}
+	for _, b := range sent {
+		em.Emit(b)
+	}
+	em.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= len(sent) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d beacons, want %d", n, len(sent))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, want := range sent {
+		b := got[i]
+		if b.PID == 0 {
+			t.Fatalf("beacon %d: emitter did not stamp a PID", i)
+		}
+		b.PID = 0
+		if b != want {
+			t.Fatalf("beacon %d = %+v, want %+v", i, b, want)
+		}
+	}
+}
+
+func TestBeaconServerSkipsMalformedLines(t *testing.T) {
+	var mu sync.Mutex
+	var got []Beacon
+	srv, err := ListenBeacons("", func(b Beacon) {
+		mu.Lock()
+		got = append(got, b)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("this is not json\n{\"rank\":4,\"kind\":\"iteration\",\"phase\":1,\"q\":0.25}\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("valid beacon after a malformed line never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Rank != 4 || got[0].Kind != KindIteration || got[0].Modularity != 0.25 {
+		t.Fatalf("beacon = %+v", got[0])
+	}
+}
+
+func TestEmitterSurvivesDeadServer(t *testing.T) {
+	srv, err := ListenBeacons("", func(Beacon) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := DialBeacons(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// Emission into a torn-down control channel must be silent no-ops: the
+	// beacon stream is advisory and can never fail the computation.
+	for i := 0; i < 100; i++ {
+		em.Emit(Beacon{Rank: 0, Kind: KindIteration, Iteration: i})
+	}
+	em.Close()
+}
