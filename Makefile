@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race test-race-all test-chaos bench fuzz experiments experiments-md clean
+.PHONY: all check build vet test test-race test-race-all test-chaos test-obsv golden bench fuzz experiments experiments-md clean
 
 all: check
 
@@ -20,10 +20,23 @@ test:
 	$(GO) test ./...
 
 # The race detector multiplies runtime, so the default pass covers the
-# concurrency-heavy packages: the transport/collective layer and the
-# distributed algorithm driven on top of it.
+# concurrency-heavy packages: the transport/collective layer, the
+# distributed algorithm driven on top of it, and the tracer that both emit
+# spans into from rank goroutines.
 test-race:
-	$(GO) test -race ./internal/mpi/... ./internal/core/...
+	$(GO) test -race ./internal/mpi/... ./internal/core/... ./internal/obsv/...
+
+# The observability suite under the race detector: golden trace-structure
+# comparisons, determinism, zero-alloc disabled-path, and concurrent span
+# emission. -count=1 defeats the test cache so reruns re-exercise the races.
+test-obsv:
+	$(GO) test -race -count=1 ./internal/obsv/...
+
+# Regenerate the golden trace-structure files from the current run. Review
+# the diff: it is the reviewable record of any control-flow or
+# instrumentation-point change.
+golden:
+	$(GO) test ./internal/obsv -run TestGoldenTraces -update-golden -count=1
 
 test-race-all:
 	$(GO) test -race ./...

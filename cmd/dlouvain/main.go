@@ -58,6 +58,7 @@ import (
 	"distlouvain/internal/dgraph"
 	"distlouvain/internal/gio"
 	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
 	"distlouvain/internal/partition"
 	"distlouvain/internal/quality"
 	"distlouvain/internal/supervisor"
@@ -111,6 +112,15 @@ func main() {
 		chaosStopRank  = flag.Int("chaos-stop-rank", -1, "chaos: SIGSTOP this rank (supervised tcp-local; -1 disables)")
 		chaosStopPhase = flag.Int("chaos-stop-phase", 0, "chaos: phase at which -chaos-stop-rank fires")
 		chaosAll       = flag.Bool("chaos-all-attempts", false, "chaos: re-arm chaos and fault injection on every attempt (exercises budget exhaustion)")
+
+		// Rank-level observability: span tracing with NDJSON export, the
+		// paper-§V-A per-phase timing breakdown, and a pprof/expvar debug
+		// server. Tracing is off (and free) unless -trace-dir or -report
+		// asks for it.
+		traceDir  = flag.String("trace-dir", "", "write per-rank span traces (NDJSON) into this directory")
+		reportOn  = flag.Bool("report", false, "print the per-phase timing breakdown (%p2p/%coll/%coarsen) after the run")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof and expvar metrics on this address")
+		traceCap  = flag.Int("trace-cap", obsv.DefaultCapacity, "per-rank span ring capacity (oldest spans overwritten beyond it)")
 
 		// Failure-semantics knobs: deadlines turn a dead or partitioned
 		// peer into an error instead of a hang; the fault-* flags inject
@@ -182,25 +192,32 @@ func main() {
 		verbose: *verbose,
 	}
 
+	oopts := obsOptions{
+		traceDir:  *traceDir,
+		report:    *reportOn,
+		pprofAddr: *pprofAddr,
+		traceCap:  *traceCap,
+	}
+
 	switch *transport {
 	case "inproc":
 		if *supervise {
-			superviseInproc(path, hdr, *np, cfg, *edgeBal, *resume, *outPath, *truthPath, commOpts, fault, sopts)
+			superviseInproc(path, hdr, *np, cfg, *edgeBal, *resume, *outPath, *truthPath, commOpts, fault, sopts, oopts)
 			return
 		}
-		runInproc(path, hdr, *np, cfg, *edgeBal, *resume, *outPath, *truthPath, *verbose, commOpts)
+		runInproc(path, hdr, *np, cfg, *edgeBal, *resume, *outPath, *truthPath, *verbose, commOpts, oopts)
 	case "tcp":
 		addrs := strings.Split(*hosts, ",")
 		if len(addrs) < 1 || *hosts == "" {
 			fatalf("tcp transport needs -hosts")
 		}
-		runTCP(path, hdr, *rank, addrs, cfg, *edgeBal, *resume, *outPath, *truthPath, *verbose, commOpts, fault)
+		runTCP(path, hdr, *rank, addrs, cfg, *edgeBal, *resume, *outPath, *truthPath, *verbose, commOpts, fault, oopts)
 	case "tcp-local":
 		if *supervise {
-			superviseLocalTCP(*np, path, cfg, *resume, sopts)
+			superviseLocalTCP(*np, path, cfg, *resume, sopts, oopts)
 			return
 		}
-		launchLocalTCP(*np)
+		launchLocalTCP(*np, oopts)
 	default:
 		fatalf("unknown transport %q", *transport)
 	}
@@ -213,10 +230,12 @@ func faultActive(p mpi.FaultPlan) bool {
 
 // launchLocalTCP re-executes this binary once per rank with -transport tcp
 // over freshly reserved loopback ports — a miniature single-host mpirun.
-func launchLocalTCP(np int) {
+func launchLocalTCP(np int, oopts obsOptions) {
 	if np <= 0 {
 		fatalf("tcp-local needs -np >= 1")
 	}
+	// The parent serves the debug endpoint; children can't share one address.
+	startPprof(oopts.pprofAddr, nil)
 	addrs := make([]string, np)
 	for r := range addrs {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -232,7 +251,11 @@ func launchLocalTCP(np int) {
 	// transport/np settings, plus per-rank tcp settings.
 	var passthrough []string
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "transport" || f.Name == "np" || f.Name == "rank" || f.Name == "hosts" {
+		// -trace-dir and -report pass through (each rank writes its own
+		// trace file; rank 0's stdout carries the report); -pprof-addr must
+		// not — every child would race to bind the same address.
+		if f.Name == "transport" || f.Name == "np" || f.Name == "rank" ||
+			f.Name == "hosts" || f.Name == "pprof-addr" {
 			return
 		}
 		passthrough = append(passthrough, "-"+f.Name+"="+f.Value.String())
@@ -367,17 +390,31 @@ func rankBody(path string, hdr gio.Header, cfg core.Config, edgeBal, resume, ver
 	}
 }
 
-func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption) {
+func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption, oopts obsOptions) {
 	var interrupted atomic.Bool
 	cfg.Interrupted = interrupted.Load
 	trapInterrupt(func(os.Signal) {
 		fmt.Fprintln(os.Stderr, "dlouvain: interrupt: checkpointing at the next phase boundary")
 		interrupted.Store(true)
 	})
-	body := rankBody(path, hdr, cfg, edgeBal, resume, verbose)
+	reg := obsv.NewRegistry(0)
+	startPprof(oopts.pprofAddr, reg)
+	tracers := make([]*obsv.Tracer, np)
+	for r := range tracers {
+		tracers[r] = oopts.newTracer(r)
+	}
 	var root *core.Result
 	err := mpi.Run(np, func(c *mpi.Comm) error {
-		res, err := body(c)
+		tr := tracers[c.Rank()]
+		c.SetTracer(tr)
+		rcfg := cfg
+		rcfg.Tracer = tr
+		if c.Rank() == 0 {
+			reg.AttachCounters("mpi.rank0", func() map[string]int64 {
+				return c.Stats().Snapshot().Counters()
+			})
+		}
+		res, err := rankBody(path, hdr, rcfg, edgeBal, resume, verbose)(c)
 		if err != nil {
 			return err
 		}
@@ -386,13 +423,18 @@ func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal, re
 		}
 		return nil
 	}, commOpts...)
+	// Flush traces even on failure: the ring tail of a failed rank is the
+	// post-mortem evidence the traces exist for.
+	oopts.flushTraces(tracers...)
 	if err != nil {
 		runFailf(err, "%v", err)
 	}
+	recordRunMetrics(reg, root)
 	report(root, hdr, cfg, np, outPath, truthPath)
+	oopts.printReport(tracers[0])
 }
 
-func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption, fault mpi.FaultPlan) {
+func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption, fault mpi.FaultPlan, oopts obsOptions) {
 	var interrupted atomic.Bool
 	cfg.Interrupted = interrupted.Load
 	trapInterrupt(func(os.Signal) {
@@ -401,6 +443,10 @@ func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Conf
 		}
 		interrupted.Store(true)
 	})
+	tr := oopts.newTracer(rank)
+	cfg.Tracer = tr
+	reg := obsv.NewRegistry(rank)
+	startPprof(oopts.pprofAddr, reg)
 
 	// Under a supervising parent, report progress beacons over the control
 	// channel, and treat a failed rendezvous as retryable: a sibling rank
@@ -409,7 +455,7 @@ func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Conf
 	if supervised {
 		if em, err := supervisor.DialBeacons(supervisor.BeaconAddrFromEnv()); err == nil {
 			defer em.Close()
-			cfg.Progress = supervisor.CoreProgress(rank, 0, em.Emit)
+			cfg.Progress = supervisor.CoreProgressTraced(rank, 0, tr, em.Emit)
 			em.Emit(supervisor.Beacon{Rank: rank, Kind: supervisor.KindHello})
 		}
 	}
@@ -428,12 +474,19 @@ func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Conf
 	}
 	defer tp.Close()
 	c := mpi.NewComm(tp, commOpts...)
+	c.SetTracer(tr)
+	reg.AttachCounters("mpi", func() map[string]int64 {
+		return c.Stats().Snapshot().Counters()
+	})
 	res, err := rankBody(path, hdr, cfg, edgeBal, resume, verbose)(c)
+	oopts.flushTraces(tr)
 	if err != nil {
 		runFailf(err, "rank %d: %v", rank, err)
 	}
+	recordRunMetrics(reg, res)
 	if rank == 0 {
 		report(res, hdr, cfg, len(addrs), outPath, truthPath)
+		oopts.printReport(tr)
 	}
 }
 

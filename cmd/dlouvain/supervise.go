@@ -21,6 +21,7 @@ import (
 	"distlouvain/internal/core"
 	"distlouvain/internal/gio"
 	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
 	"distlouvain/internal/supervisor"
 )
 
@@ -134,10 +135,13 @@ type inprocLauncher struct {
 	commOpts []mpi.CommOption
 	fault    mpi.FaultPlan // transport fault injection (see faultAll)
 	faultAll bool          // inject on every attempt, not just the first
+	obs      obsOptions
+	reg      *obsv.Registry // generation-scoped metrics timeline (may be nil)
 
-	mu     sync.Mutex
-	result *core.Result // rank-0 result of the completed attempt
-	ranks  int          // world size of the completed attempt
+	mu      sync.Mutex
+	result  *core.Result   // rank-0 result of the completed attempt
+	ranks   int            // world size of the completed attempt
+	tracers []*obsv.Tracer // current attempt's per-rank tracers (post-mortem source)
 }
 
 type inprocAttempt struct {
@@ -164,6 +168,16 @@ func (l *inprocLauncher) Launch(spec supervisor.LaunchSpec, beacons func(supervi
 func (l *inprocLauncher) run(a *inprocAttempt, spec supervisor.LaunchSpec, beacons func(supervisor.Beacon)) {
 	defer close(a.done)
 	defer a.world.Close()
+	// Fresh tracers per attempt: a relaunched world's trace must not carry
+	// its predecessor's spans. The previous attempt's tracers stay readable
+	// (PostMortem races the swap harmlessly — tracers are concurrency-safe).
+	tracers := make([]*obsv.Tracer, spec.Ranks)
+	for r := range tracers {
+		tracers[r] = l.obs.newTracer(r)
+	}
+	l.mu.Lock()
+	l.tracers = tracers
+	l.mu.Unlock()
 	errs := make([]error, spec.Ranks)
 	var wg sync.WaitGroup
 	for r := 0; r < spec.Ranks; r++ {
@@ -177,7 +191,8 @@ func (l *inprocLauncher) run(a *inprocAttempt, spec supervisor.LaunchSpec, beaco
 				}
 			}()
 			cfg := l.cfg
-			cfg.Progress = supervisor.CoreProgress(r, 0, beacons)
+			cfg.Tracer = tracers[r]
+			cfg.Progress = supervisor.CoreProgressTraced(r, 0, tracers[r], beacons)
 			cfg.Interrupted = a.interrupt.Load
 			beacons(supervisor.Beacon{Rank: r, Kind: supervisor.KindHello})
 			tp := a.world.Endpoint(r)
@@ -187,6 +202,14 @@ func (l *inprocLauncher) run(a *inprocAttempt, spec supervisor.LaunchSpec, beaco
 				tp = mpi.NewFaultTransport(tp, fp)
 			}
 			c := mpi.NewComm(tp, l.commOpts...)
+			c.SetTracer(tracers[r])
+			if r == 0 {
+				// Each attempt gets a fresh Comm, so re-attaching replaces
+				// the dead generation's counter source with the live one.
+				l.reg.AttachCounters("mpi.rank0", func() map[string]int64 {
+					return c.Stats().Snapshot().Counters()
+				})
+			}
 			res, err := rankBody(l.path, l.hdr, cfg, l.edgeBal, spec.Resume, l.verbose)(c)
 			if err != nil {
 				errs[r] = err
@@ -201,7 +224,38 @@ func (l *inprocLauncher) run(a *inprocAttempt, spec supervisor.LaunchSpec, beaco
 		}(r)
 	}
 	wg.Wait()
+	l.reg.RecordGenerationCounters()
 	a.err = pickWorldError(errs)
+}
+
+// rankTracers returns the most recent attempt's per-rank tracers.
+func (l *inprocLauncher) rankTracers() []*obsv.Tracer {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tracers
+}
+
+// postMortem renders what a condemned rank's tracer last saw: the still-open
+// span chain (where it is stuck) and the most recently completed spans (what
+// it finished on the way there). Wired into supervisor.Options.PostMortem.
+func (l *inprocLauncher) postMortem(rank int) []string {
+	var tr *obsv.Tracer
+	l.mu.Lock()
+	if rank >= 0 && rank < len(l.tracers) {
+		tr = l.tracers[rank]
+	}
+	l.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	var lines []string
+	if p := tr.Path(); p != "" {
+		lines = append(lines, "open: "+p)
+	}
+	for _, s := range tr.Tail(8) {
+		lines = append(lines, "recent: "+s.Label())
+	}
+	return lines
 }
 
 // pickWorldError selects the most meaningful failure from a world's per-rank
@@ -237,24 +291,47 @@ func pickWorldError(errs []error) error {
 
 // superviseInproc runs the supervised in-process world and reports the
 // surviving attempt's result.
-func superviseInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, commOpts []mpi.CommOption, fault mpi.FaultPlan, opts supOptions) {
+func superviseInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, commOpts []mpi.CommOption, fault mpi.FaultPlan, opts supOptions, oopts obsOptions) {
+	reg := obsv.NewRegistry(0)
+	startPprof(oopts.pprofAddr, reg)
 	l := &inprocLauncher{
 		path: path, hdr: hdr, cfg: cfg,
 		edgeBal: edgeBal, verbose: opts.verbose,
 		commOpts: commOpts, fault: fault, faultAll: opts.chaos.everyAttempt,
+		obs: oopts, reg: reg,
 	}
-	sup := supervisor.New(l, opts.supervisorOptions(cfg))
+	sopts := opts.supervisorOptions(cfg)
+	sopts.PostMortem = l.postMortem
+	sopts.OnRestart = func(restarts, ranks int, resume bool, cause error) {
+		reg.BeginGeneration()
+		var res float64
+		if resume {
+			res = 1
+		}
+		reg.RecordEvent("restart", "relaunch", map[string]float64{
+			"restarts": float64(restarts), "ranks": float64(ranks), "resume": res,
+		})
+	}
+	sup := supervisor.New(l, sopts)
 	trapInterrupt(func(os.Signal) {
 		fmt.Fprintln(os.Stderr, "dlouvain: interrupt: checkpointing at the next phase boundary")
 		sup.Interrupt()
 	})
-	if err := sup.Run(np, resume); err != nil {
+	err := sup.Run(np, resume)
+	// Traces flush even when the supervisor gives up: the surviving files
+	// describe the last attempt, which is the one worth examining.
+	oopts.flushTraces(l.rankTracers()...)
+	if err != nil {
 		runFailf(err, "%v", err)
 	}
 	l.mu.Lock()
 	res, ranks := l.result, l.ranks
 	l.mu.Unlock()
+	recordRunMetrics(reg, res)
 	report(res, hdr, cfg, ranks, outPath, truthPath)
+	if trs := l.rankTracers(); len(trs) > 0 {
+		oopts.printReport(trs[0])
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -425,19 +502,24 @@ type childrenError struct {
 func (e *childrenError) Error() string { return "world failed: " + e.msg }
 
 // superviseLocalTCP supervises a tcp-local world of child rank processes.
-func superviseLocalTCP(np int, graph string, cfg core.Config, resume bool, opts supOptions) {
+func superviseLocalTCP(np int, graph string, cfg core.Config, resume bool, opts supOptions, oopts obsOptions) {
 	exe, err := os.Executable()
 	if err != nil {
 		fatalf("%v", err)
 	}
+	reg := obsv.NewRegistry(0)
+	startPprof(oopts.pprofAddr, reg)
 	var passthrough, faultArgs []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "transport", "np", "rank", "hosts", "supervise", "resume",
 			"max-restarts", "backoff", "min-ranks", "hang-min", "hang-max", "poll",
 			"chaos-kill-rank", "chaos-kill-phase", "chaos-stop-rank", "chaos-stop-phase",
-			"chaos-all-attempts":
-			// supervision and topology flags stay with the parent
+			"chaos-all-attempts", "pprof-addr":
+			// supervision and topology flags stay with the parent; so does
+			// -pprof-addr, which children cannot share. -trace-dir and
+			// -report pass through: each rank owns its trace file and rank
+			// 0's stdout carries the report.
 		case "fault-seed", "fault-drop", "fault-dup", "fault-delay", "fault-kill-after":
 			faultArgs = append(faultArgs, "-"+f.Name+"="+f.Value.String())
 		default:
@@ -445,13 +527,28 @@ func superviseLocalTCP(np int, graph string, cfg core.Config, resume bool, opts 
 		}
 	})
 	sopts := opts.supervisorOptions(cfg)
+	sopts.OnRestart = func(restarts, ranks int, resume bool, cause error) {
+		reg.BeginGeneration()
+		var res float64
+		if resume {
+			res = 1
+		}
+		reg.RecordEvent("restart", "relaunch", map[string]float64{
+			"restarts": float64(restarts), "ranks": float64(ranks), "resume": res,
+		})
+	}
 	l := &procLauncher{
 		exe: exe, graph: graph,
 		passthrough: passthrough, faultArgs: faultArgs,
 		chaos: opts.chaos, logf: sopts.Logf,
 	}
-	if opts.verbose {
-		sopts.OnBeacon = func(b supervisor.Beacon) {
+	verbose := opts.verbose
+	sopts.OnBeacon = func(b supervisor.Beacon) {
+		reg.RecordEvent("beacon", string(b.Kind), map[string]float64{
+			"rank": float64(b.Rank), "phase": float64(b.Phase),
+			"iter": float64(b.Iteration), "q": b.Modularity,
+		})
+		if verbose {
 			fmt.Fprintf(os.Stderr, "dlouvain: beacon %+v\n", b)
 		}
 	}

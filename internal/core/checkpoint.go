@@ -7,6 +7,7 @@ import (
 
 	"distlouvain/internal/ckpt"
 	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
 )
 
 // ckptStateVersion versions the *contents* of the Louvain sections inside a
@@ -36,10 +37,13 @@ const (
 // A failure before step 3 leaves the previous manifest (and its files)
 // intact; a failure after step 3 leaves the new checkpoint complete.
 func (rs *runState) writeCheckpoint() error {
+	sp := rs.cfg.Tracer.Begin(obsv.KindCheckpoint, "checkpoint")
+	defer sp.End()
 	c := rs.comm
 	dir := rs.cfg.CheckpointDir
 	completed := rs.phase + 1 // phases finished so far
 
+	wsp := rs.cfg.Tracer.Begin(obsv.KindStep, "ckpt-write")
 	err := func() error {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
@@ -50,6 +54,7 @@ func (rs *runState) writeCheckpoint() error {
 		}
 		return ckpt.WriteSnapshot(filepath.Join(dir, ckpt.RankFileName(completed, c.Rank())), secs)
 	}()
+	wsp.End()
 	if err = c.AllOK(err); err != nil {
 		return err
 	}

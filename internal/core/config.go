@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
 )
 
 // DefaultTau is the paper's default threshold τ = 10⁻⁶.
@@ -112,6 +113,13 @@ type Config struct {
 	// tests exploit exactly that). It never affects the trajectory and is
 	// excluded from Hash.
 	Progress func(ProgressEvent)
+
+	// Tracer, when set, records this rank's phase/iteration/step spans.
+	// Attach the same tracer to the rank's communicator (mpi.WithTracer /
+	// SetTracer) so collective spans nest under the driver's. nil disables
+	// tracing at zero cost. Like Progress, it never affects the trajectory
+	// and is excluded from Hash.
+	Tracer *obsv.Tracer
 
 	// Interrupted, when set, is polled at every phase boundary and its
 	// verdict is combined world-wide (allreduce max): when any rank

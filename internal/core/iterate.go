@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
 	"distlouvain/internal/par"
 )
 
@@ -124,6 +125,8 @@ func (st *phaseState) evaluateVertex(lv int64, scratch map[int64]float64) (move,
 // its best move, double-buffered across the whole sweep. It returns the
 // chosen moves without applying them.
 func (st *phaseState) sweep(iter int) []move {
+	sp := st.tr().Begin(obsv.KindStep, "sweep")
+	defer sp.End()
 	t0 := time.Now()
 	defer func() { st.steps.Compute += time.Since(t0) }()
 	nw := st.cfg.Threads
@@ -157,6 +160,8 @@ func (st *phaseState) sweep(iter int) []move {
 // iteration would be inconsistent with the remote communities that cannot
 // be refreshed until the delta push.
 func (st *phaseState) sweepByClasses(classes [][]int64, iter int) []move {
+	sp := st.tr().Begin(obsv.KindStep, "sweep")
+	defer sp.End()
 	t0 := time.Now()
 	defer func() { st.steps.Compute += time.Since(t0) }()
 	nw := st.cfg.Threads
@@ -245,7 +250,9 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 
 	var classes [][]int64
 	if st.cfg.UseColoring {
+		csp := st.tr().Begin(obsv.KindStep, "coloring")
 		color, numColors, err := DistColoring(st.dg, st.cfg.Seed)
+		csp.End()
 		if err != nil {
 			return stat, err
 		}
@@ -259,6 +266,12 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 			break
 		}
 		stat.Iterations++
+
+		// The iteration span is closed explicitly on every break path; a
+		// mid-iteration error leaves it open so the tracer's Path still
+		// names the iteration a failed collective belonged to.
+		st.tr().SetPos(st.phase, stat.Iterations)
+		isp := st.tr().Begin(obsv.KindIteration, "iteration")
 
 		localInactive := st.updateActivity(stat.Iterations)
 		if st.cfg.ETC {
@@ -274,6 +287,7 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 			if stat.InactiveFrac >= st.cfg.ETCExit {
 				stat.Iterations-- // this iteration did not run
 				stat.Exit = ExitETC
+				isp.End()
 				break
 			}
 		}
@@ -331,9 +345,11 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 				prevQ = q
 			}
 			stat.Exit = ExitTau
+			isp.End()
 			break
 		}
 		prevQ = q
+		isp.End()
 	}
 
 	if math.IsInf(prevQ, -1) {

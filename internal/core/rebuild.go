@@ -7,6 +7,7 @@ import (
 
 	"distlouvain/internal/dgraph"
 	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
 	"distlouvain/internal/partition"
 )
 
@@ -25,6 +26,8 @@ import (
 //  6. redistribute so every rank owns an equal share of new vertices;
 //  7. rebuild CSR index/edge arrays.
 func (st *phaseState) rebuild(extraIDs []int64) (*dgraph.DistGraph, map[int64]int64, error) {
+	sp := st.tr().Begin(obsv.KindStep, "rebuild")
+	defer sp.End()
 	t0 := time.Now()
 	defer func() { st.steps.Rebuild += time.Since(t0) }()
 	c := st.dg.Comm

@@ -9,6 +9,7 @@ import (
 	"distlouvain/internal/dgraph"
 	"distlouvain/internal/gio"
 	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
 	"distlouvain/internal/partition"
 )
 
@@ -30,6 +31,10 @@ func Resume(c *mpi.Comm, dir string, cfg Config) (*Result, error) {
 	cfg.fill()
 	p := c.Size()
 	rank := c.Rank()
+
+	// The load span closes just before control enters the shared run loop;
+	// an error while loading leaves it open (visible via Tracer.Path).
+	lsp := cfg.Tracer.Begin(obsv.KindCheckpoint, "resume-load")
 
 	// Rank 0 reads and validates the manifest; a status byte leads the
 	// broadcast so a root-side failure aborts every rank instead of
@@ -216,6 +221,7 @@ func Resume(c *mpi.Comm, dir string, cfg Config) (*Result, error) {
 		forcedFinal: ff != 0,
 		steps:       &StepTimes{},
 	}
+	lsp.End()
 	return rs.runLoop()
 }
 

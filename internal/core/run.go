@@ -9,6 +9,7 @@ import (
 	"distlouvain/internal/gio"
 	"distlouvain/internal/graph"
 	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
 )
 
 // runState is the complete driver position of a multi-phase run between
@@ -71,12 +72,19 @@ func (rs *runState) runLoop() (*Result, error) {
 	origComm := res.LocalComm
 	finalTau := cfg.Tau
 
+	// The run span closes only on success; on an error return it stays
+	// open, so the tracer's Path/ring tail still names where the run died.
+	tr := cfg.Tracer
+	rsp := tr.Begin(obsv.KindRun, "run")
+
 	for ; rs.phase < cfg.MaxPhases; rs.phase++ {
 		phase := rs.phase
 		tau := finalTau
 		if len(cfg.TauSchedule) > 0 && !rs.forcedFinal {
 			tau = cfg.TauSchedule[phase%len(cfg.TauSchedule)]
 		}
+		tr.SetPos(phase, 0)
+		psp := tr.Begin(obsv.KindPhase, "phase")
 		cfg.progress(ProgressEvent{Kind: ProgressPhaseStart, Phase: phase, Modularity: rs.prevQ, Vertices: rs.cur.GlobalN})
 
 		st, err := newPhaseState(rs.cur, cfg, phase, rs.steps)
@@ -93,6 +101,7 @@ func (rs *runState) runLoop() (*Result, error) {
 		// Flatten: each original vertex currently tracks a meta-vertex of
 		// this phase's graph; advance it to that meta-vertex's final
 		// community (serial equivalent: comm[res.Comm[v]]).
+		fsp := tr.Begin(obsv.KindP2P, "flatten")
 		flat, err := st.resolveVertexComms(origComm)
 		if err != nil {
 			return nil, fmt.Errorf("phase %d assignment flattening: %w", phase, err)
@@ -100,6 +109,7 @@ func (rs *runState) runLoop() (*Result, error) {
 		for i, mv := range origComm {
 			origComm[i] = flat[mv]
 		}
+		fsp.End()
 
 		// Rebuild unconditionally: it densifies labels and yields the
 		// exact final modularity even when this was the last phase.
@@ -133,6 +143,7 @@ func (rs *runState) runLoop() (*Result, error) {
 			stop = true
 		}
 		if stop {
+			psp.End()
 			break
 		}
 
@@ -168,6 +179,7 @@ func (rs *runState) runLoop() (*Result, error) {
 				return nil, fmt.Errorf("phase %d checkpoint: %w", phase, err)
 			}
 		}
+		psp.End()
 	}
 
 	// Exact final modularity from the final coarse graph: with the
@@ -186,11 +198,15 @@ func (rs *runState) runLoop() (*Result, error) {
 	}
 
 	if cfg.GatherOutput {
-		if err := gatherOutput(c, rs.origN, res); err != nil {
+		gsp := tr.Begin(obsv.KindP2P, "gather-output")
+		err := gatherOutput(c, rs.origN, res)
+		gsp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
 
+	rsp.End()
 	res.Runtime = time.Since(start)
 	rs.steps.Total = res.Runtime
 	res.Steps = *rs.steps

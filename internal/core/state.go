@@ -7,6 +7,7 @@ import (
 
 	"distlouvain/internal/dgraph"
 	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
 	"distlouvain/internal/par"
 )
 
@@ -58,6 +59,10 @@ type phaseState struct {
 	steps *StepTimes
 }
 
+// tr returns the run's tracer (nil when tracing is off; obsv methods
+// no-op on nil).
+func (st *phaseState) tr() *obsv.Tracer { return st.cfg.Tracer }
+
 func newPhaseState(dg *dgraph.DistGraph, cfg *Config, phaseIdx int, steps *StepTimes) (*phaseState, error) {
 	n := dg.LocalN
 	st := &phaseState{
@@ -93,6 +98,8 @@ func newPhaseState(dg *dgraph.DistGraph, cfg *Config, phaseIdx int, steps *StepT
 // setupGhostLists performs the one-time-per-phase exchange of Algorithm 4:
 // each rank tells every owner which of its vertices it holds as ghosts.
 func (st *phaseState) setupGhostLists() error {
+	sp := st.tr().Begin(obsv.KindP2P, "ghost-setup")
+	defer sp.End()
 	c := st.dg.Comm
 	p := c.Size()
 	st.ghostSlots = make([][]int32, p)
@@ -144,6 +151,8 @@ func (st *phaseState) setupGhostLists() error {
 // traffic). With UseNeighborCollectives, the exchange runs over the sparse
 // ghost-neighbour topology instead of the dense all-to-all.
 func (st *phaseState) exchangeGhostComm() error {
+	sp := st.tr().Begin(obsv.KindP2P, "ghost-exchange")
+	defer sp.End()
 	t0 := time.Now()
 	defer func() { st.steps.GhostComm += time.Since(t0) }()
 	c := st.dg.Comm
@@ -252,6 +261,8 @@ func (st *phaseState) infoOf(cid int64) (cinfo, bool) {
 // (A_c, size) entries of the non-owned ones from their owners, and cache
 // the replies for this iteration.
 func (st *phaseState) fetchCommunityInfo() error {
+	sp := st.tr().Begin(obsv.KindP2P, "community-fetch")
+	defer sp.End()
 	t0 := time.Now()
 	defer func() { st.steps.CommunityComm += time.Since(t0) }()
 	c := st.dg.Comm
@@ -403,6 +414,8 @@ type delta struct {
 // communities travels to their owners; owners fold in the deltas for their
 // local communities.
 func (st *phaseState) pushDeltas(deltas map[int64]delta) error {
+	sp := st.tr().Begin(obsv.KindP2P, "community-push")
+	defer sp.End()
 	t0 := time.Now()
 	defer func() { st.steps.CommunityComm += time.Since(t0) }()
 	c := st.dg.Comm
@@ -459,6 +472,7 @@ func (st *phaseState) applyDelta(cid int64, d delta) {
 // the global Q. The local move count rides along in the same reduction so
 // the per-iteration migration rate costs no extra collective.
 func (st *phaseState) modularityAndMoves(localMoves int64) (float64, int64, error) {
+	msp := st.tr().Begin(obsv.KindStep, "modularity-compute")
 	tc := time.Now()
 	var eSum float64
 	for lv := int64(0); lv < st.dg.LocalN; lv++ {
@@ -474,6 +488,7 @@ func (st *phaseState) modularityAndMoves(localMoves int64) (float64, int64, erro
 		aSq += st.cA[lc] * st.cA[lc]
 	}
 	st.steps.Compute += time.Since(tc)
+	msp.End()
 
 	ta := time.Now()
 	out, err := st.dg.Comm.AllreduceFloat64s([]float64{eSum, aSq, float64(localMoves)}, mpi.OpSum)

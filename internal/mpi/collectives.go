@@ -1,6 +1,17 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"distlouvain/internal/obsv"
+)
+
+// span opens a collective span on the attached tracer (no-op when tracing
+// is off). Spans live on the non-delegating entry points only, so a scalar
+// allreduce or AllOK still records exactly one span.
+func (c *Comm) span(name string) obsv.SpanScope {
+	return c.tracer.Begin(obsv.KindCollective, name)
+}
 
 // Op selects the combining operator of a reduction.
 type Op int
@@ -49,6 +60,8 @@ func combineInt64(op Op, a, b int64) int64 {
 // Barrier blocks until every rank has entered it. It uses the dissemination
 // algorithm: ceil(log2 p) rounds of one send and one receive each.
 func (c *Comm) Barrier() error {
+	sp := c.span("barrier")
+	defer sp.End()
 	tag := c.collTag()
 	for k := 1; k < c.size; k <<= 1 {
 		to := (c.rank + k) % c.size
@@ -69,6 +82,9 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	if err := checkPeer(root, c.size, "Bcast"); err != nil {
 		return nil, err
 	}
+	sp := c.span("bcast")
+	sp.SetBytes(int64(len(data)))
+	defer sp.End()
 	tag := c.collTag()
 	return c.bcast(root, tag, data)
 }
@@ -135,6 +151,9 @@ func (c *Comm) reduceBytes(root, tag int, acc []byte, combine func(acc, in []byt
 // combined vector at every rank. All ranks must pass vectors of equal
 // length. The input is not modified.
 func (c *Comm) AllreduceFloat64s(vs []float64, op Op) ([]float64, error) {
+	sp := c.span("allreduce")
+	sp.SetBytes(int64(8 * len(vs)))
+	defer sp.End()
 	tag := c.collTag()
 	acc := EncodeFloat64s(vs)
 	combine := func(acc, in []byte) error {
@@ -172,6 +191,9 @@ func foldFloat64s(acc []byte, in []float64, op Op) error {
 
 // AllreduceInt64s is AllreduceFloat64s for int64 vectors.
 func (c *Comm) AllreduceInt64s(vs []int64, op Op) ([]int64, error) {
+	sp := c.span("allreduce")
+	sp.SetBytes(int64(8 * len(vs)))
+	defer sp.End()
 	tag := c.collTag()
 	acc := EncodeInt64s(vs)
 	combine := func(acc, in []byte) error {
@@ -250,6 +272,9 @@ func (c *Comm) AllOK(local error) error {
 // receives v_0+…+v_{r-1}; rank 0 receives 0. This is the parallel prefix the
 // coarsening step uses to renumber communities globally (Fig. 1, step 3).
 func (c *Comm) ExscanInt64(v int64) (int64, error) {
+	sp := c.span("exscan")
+	sp.SetBytes(8)
+	defer sp.End()
 	tag := c.collTag()
 	acc := v
 	var result int64
@@ -295,6 +320,9 @@ func (c *Comm) AllgatherInt64(v int64) ([]int64, error) {
 
 // Allgather collects each rank's buffer at every rank, indexed by rank.
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	sp := c.span("allgather")
+	sp.SetBytes(int64(len(data) * (c.size - 1)))
+	defer sp.End()
 	tag := c.collTag()
 	out := make([][]byte, c.size)
 	cp := make([]byte, len(data))
@@ -324,6 +352,9 @@ func (c *Comm) Gatherv(root int, data []byte) ([][]byte, error) {
 	if err := checkPeer(root, c.size, "Gatherv"); err != nil {
 		return nil, err
 	}
+	sp := c.span("gatherv")
+	sp.SetBytes(int64(len(data)))
+	defer sp.End()
 	tag := c.collTag()
 	if c.rank != root {
 		return nil, c.collSend(root, tag, data)
@@ -351,6 +382,13 @@ func (c *Comm) Alltoall(send [][]byte) ([][]byte, error) {
 	if len(send) != c.size {
 		return nil, errLenMismatch("Alltoall", c.size, len(send))
 	}
+	sp := c.span("alltoall")
+	for r, b := range send {
+		if r != c.rank {
+			sp.SetBytes(int64(len(b)))
+		}
+	}
+	defer sp.End()
 	tag := c.collTag()
 	recv := make([][]byte, c.size)
 	cp := make([]byte, len(send[c.rank]))
@@ -389,6 +427,11 @@ func (c *Comm) NeighborAlltoall(peers []int, send [][]byte) ([][]byte, error) {
 	if len(send) != len(peers) {
 		return nil, errLenMismatch("NeighborAlltoall", len(peers), len(send))
 	}
+	sp := c.span("neighbor-alltoall")
+	for _, b := range send {
+		sp.SetBytes(int64(len(b)))
+	}
+	defer sp.End()
 	tag := c.collTag()
 	recv := make([][]byte, len(peers))
 	index := make(map[int]int, len(peers))

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"time"
+
+	"distlouvain/internal/obsv"
 )
 
 // Comm is a communicator: a transport endpoint plus collective operations
@@ -31,6 +33,10 @@ type Comm struct {
 	// the same logical operation, which keeps back-to-back collectives of
 	// the same kind from stealing each other's messages.
 	collSeq uint64
+
+	// tracer receives one span per collective operation. nil (the default)
+	// disables tracing at zero cost; obsv methods no-op on a nil receiver.
+	tracer *obsv.Tracer
 }
 
 // CommOption configures a communicator at construction.
@@ -50,6 +56,21 @@ func WithRecvTimeout(d time.Duration) CommOption {
 func WithCollectiveTimeout(d time.Duration) CommOption {
 	return func(c *Comm) { c.collTimeout = d }
 }
+
+// WithTracer attaches a span tracer; every collective operation then
+// records one obsv span (nested under whatever driver span is open).
+func WithTracer(t *obsv.Tracer) CommOption {
+	return func(c *Comm) { c.tracer = t }
+}
+
+// SetTracer attaches a span tracer after construction — needed when the
+// same options build every rank's communicator (mpi.Run) but tracers are
+// per rank. Call before the communicator is used, not concurrently with
+// operations.
+func (c *Comm) SetTracer(t *obsv.Tracer) { c.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (c *Comm) Tracer() *obsv.Tracer { return c.tracer }
 
 // NewComm wraps a transport endpoint.
 func NewComm(t Transport, opts ...CommOption) *Comm {

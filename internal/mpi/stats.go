@@ -76,3 +76,17 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 
 // TotalBytes returns all payload bytes sent (point-to-point + collective).
 func (a Snapshot) TotalBytes() int64 { return a.SentBytes + a.CollBytes }
+
+// Counters flattens the snapshot into named counters, the shape the
+// observability registry consumes (obsv.Registry.AttachCounters).
+func (a Snapshot) Counters() map[string]int64 {
+	return map[string]int64{
+		"sent_msgs":      a.SentMsgs,
+		"sent_bytes":     a.SentBytes,
+		"recv_msgs":      a.RecvMsgs,
+		"recv_bytes":     a.RecvBytes,
+		"collective_ops": a.CollectiveOps,
+		"coll_msgs":      a.CollMsgs,
+		"coll_bytes":     a.CollBytes,
+	}
+}

@@ -1,0 +1,116 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// wireSpan is the NDJSON form of a Span: one JSON object per line, stable
+// field names, durations in nanoseconds.
+type wireSpan struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Rank    int    `json:"rank"`
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	Phase   int    `json:"phase"`
+	Iter    int    `json:"iter,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Bytes   int64  `json:"bytes,omitempty"`
+}
+
+// WriteNDJSON writes spans one-per-line in begin (ID) order.
+func WriteNDJSON(w io.Writer, spans []Span) error {
+	sorted := sortedByID(spans)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range sorted {
+		ws := wireSpan{
+			ID: s.ID, Parent: s.Parent, Rank: s.Rank, Kind: s.Kind.String(),
+			Name: s.Name, Phase: s.Phase, Iter: s.Iter,
+			StartNS: s.Start, DurNS: s.Dur, Bytes: s.Bytes,
+		}
+		if err := enc.Encode(&ws); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TraceFileName is the per-rank trace file naming convention under
+// -trace-dir.
+func TraceFileName(rank int) string {
+	return fmt.Sprintf("trace-rank%04d.ndjson", rank)
+}
+
+// WriteTraceFile dumps a tracer's completed spans to
+// dir/trace-rank%04d.ndjson, creating dir if needed. A nil tracer is a
+// no-op.
+func WriteTraceFile(dir string, t *Tracer) error {
+	if t == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, TraceFileName(t.Rank())))
+	if err != nil {
+		return err
+	}
+	if err := WriteNDJSON(f, t.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// StructureLines renders the deterministic skeleton of a trace: one line
+// per span in begin order, indented by nesting depth, titles only — no
+// durations, byte counts or timestamps. This is exactly what the golden
+// trace files pin down.
+//
+// Spans whose parent is absent from the snapshot (still open, or rotated
+// out of the ring) are rendered as roots.
+func StructureLines(spans []Span) []string {
+	sorted := sortedByID(spans)
+	present := make(map[uint64]bool, len(sorted))
+	for _, s := range sorted {
+		present[s.ID] = true
+	}
+	children := make(map[uint64][]int, len(sorted))
+	var roots []int
+	for i, s := range sorted {
+		if s.Parent != 0 && present[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	out := make([]string, 0, len(sorted))
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		s := sorted[i]
+		out = append(out, strings.Repeat("  ", depth)+s.Title())
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return out
+}
+
+func sortedByID(spans []Span) []Span {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	return sorted
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"distlouvain/internal/core"
+	"distlouvain/internal/obsv"
 )
 
 // Kind labels one beacon event.
@@ -43,12 +44,25 @@ type Beacon struct {
 	Phase      int     `json:"phase"`
 	Iteration  int     `json:"iter,omitempty"`
 	Modularity float64 `json:"q"`
+	// Span is the rank's open span path at emission time (e.g.
+	// "run/phase[1]/iteration[3]/community-fetch"), present when the rank
+	// runs with a tracer. It tells the supervisor WHERE the rank last was,
+	// not just how far it got — the hang detector's diagnosis names it.
+	Span string `json:"span,omitempty"`
 }
 
 // CoreProgress adapts a beacon sink to core's Progress hook: install the
 // returned function as Config.Progress and every run milestone becomes a
 // beacon. pid may be 0 for in-process ranks.
 func CoreProgress(rank, pid int, emit func(Beacon)) func(core.ProgressEvent) {
+	return CoreProgressTraced(rank, pid, nil, emit)
+}
+
+// CoreProgressTraced is CoreProgress with span context: when tr is non-nil,
+// each beacon carries the rank's current open span path, so the supervisor
+// can report what a later-condemned rank was doing at its last sign of
+// life. tr should be the same tracer the rank runs with.
+func CoreProgressTraced(rank, pid int, tr *obsv.Tracer, emit func(Beacon)) func(core.ProgressEvent) {
 	return func(ev core.ProgressEvent) {
 		var k Kind
 		switch ev.Kind {
@@ -63,7 +77,11 @@ func CoreProgress(rank, pid int, emit func(Beacon)) func(core.ProgressEvent) {
 		default:
 			return // unknown milestone from a newer core: not a liveness signal
 		}
-		emit(Beacon{Rank: rank, PID: pid, Kind: k, Phase: ev.Phase, Iteration: ev.Iteration, Modularity: ev.Modularity})
+		b := Beacon{Rank: rank, PID: pid, Kind: k, Phase: ev.Phase, Iteration: ev.Iteration, Modularity: ev.Modularity}
+		if tr != nil {
+			b.Span = tr.Path()
+		}
+		emit(b)
 	}
 }
 

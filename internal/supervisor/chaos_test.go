@@ -11,6 +11,7 @@ import (
 	"math"
 	"os"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"distlouvain/internal/gio"
 	"distlouvain/internal/graph"
 	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
 	"distlouvain/internal/supervisor"
 )
 
@@ -43,10 +45,40 @@ type chaosLauncher struct {
 	edges  []graph.RawEdge
 	cfg    core.Config
 	inject func(attempt, rank int, ev core.ProgressEvent) chaosAction
+	traced bool           // wire a span tracer per rank (post-mortem tests)
+	reg    *obsv.Registry // generation-scoped traffic registry (may be nil)
 
-	mu     sync.Mutex
-	result *core.Result
-	specs  []supervisor.LaunchSpec
+	mu      sync.Mutex
+	result  *core.Result
+	specs   []supervisor.LaunchSpec
+	tracers []*obsv.Tracer // current attempt's tracers when traced
+}
+
+// rankTracer returns the most recent attempt's tracer for one rank.
+func (l *chaosLauncher) rankTracer(rank int) *obsv.Tracer {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rank < 0 || rank >= len(l.tracers) {
+		return nil
+	}
+	return l.tracers[rank]
+}
+
+// postMortem mirrors the cmd/dlouvain in-process launcher: the condemned
+// rank's open span chain plus its most recently completed spans.
+func (l *chaosLauncher) postMortem(rank int) []string {
+	tr := l.rankTracer(rank)
+	if tr == nil {
+		return nil
+	}
+	var lines []string
+	if p := tr.Path(); p != "" {
+		lines = append(lines, "open: "+p)
+	}
+	for _, s := range tr.Tail(8) {
+		lines = append(lines, "recent: "+s.Label())
+	}
+	return lines
 }
 
 type chaosAttempt struct {
@@ -84,6 +116,16 @@ func (l *chaosLauncher) run(a *chaosAttempt, spec supervisor.LaunchSpec, beacons
 	defer close(a.done)
 	defer a.world.Close()
 	p := spec.Ranks
+	var tracers []*obsv.Tracer
+	if l.traced {
+		tracers = make([]*obsv.Tracer, p)
+		for r := range tracers {
+			tracers[r] = obsv.NewTracer(r, obsv.DefaultCapacity)
+		}
+		l.mu.Lock()
+		l.tracers = tracers
+		l.mu.Unlock()
+	}
 	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
@@ -91,10 +133,15 @@ func (l *chaosLauncher) run(a *chaosAttempt, spec supervisor.LaunchSpec, beacons
 		go func(r int) {
 			defer wg.Done()
 			ft := mpi.NewFaultTransport(a.world.Endpoint(r), mpi.FaultPlan{})
-			emit := supervisor.CoreProgress(r, 0, beacons)
+			var tr *obsv.Tracer
+			if l.traced {
+				tr = tracers[r]
+			}
+			emit := supervisor.CoreProgressTraced(r, 0, tr, beacons)
 			cfg := l.cfg
 			cfg.GatherOutput = true
 			cfg.Interrupted = a.interrupt.Load
+			cfg.Tracer = tr
 			cfg.Progress = func(ev core.ProgressEvent) {
 				switch l.inject(spec.Attempt, r, ev) {
 				case chaosKill:
@@ -105,6 +152,12 @@ func (l *chaosLauncher) run(a *chaosAttempt, spec supervisor.LaunchSpec, beacons
 				emit(ev)
 			}
 			c := mpi.NewComm(ft)
+			c.SetTracer(tr)
+			if r == 0 {
+				l.reg.AttachCounters("mpi.rank0", func() map[string]int64 {
+					return c.Stats().Snapshot().Counters()
+				})
+			}
 			var res *core.Result
 			var err error
 			if spec.Resume {
@@ -130,6 +183,7 @@ func (l *chaosLauncher) run(a *chaosAttempt, spec supervisor.LaunchSpec, beacons
 		}(r)
 	}
 	wg.Wait()
+	l.reg.RecordGenerationCounters()
 	a.err = chaosWorldError(errs)
 }
 
@@ -329,6 +383,123 @@ func TestChaosKillBeforeFirstCheckpoint(t *testing.T) {
 	}
 	if specs[1].Resume {
 		t.Fatal("no checkpoint existed; the relaunch must restart from scratch")
+	}
+}
+
+// TestChaosPostMortemNamesDeathSite: when a traced rank hangs, the
+// supervisor's post-mortem dump must name the phase the rank died in (its
+// open span chain), the relaunch must resume from the checkpoint, and the
+// surviving attempt's tracer must still yield a usable §V-A report — the
+// trace pipeline has to survive the kill/resume cycle, not just clean runs.
+// It also pins per-generation traffic accounting end to end: each
+// generation's frozen counters reflect only that generation's traffic.
+func TestChaosPostMortemNamesDeathSite(t *testing.T) {
+	n, edges, want := chaosGraph(t)
+	cfg := core.Baseline()
+	cfg.CheckpointDir = t.TempDir()
+
+	reg := obsv.NewRegistry(0)
+	var hung atomic.Bool
+	l := &chaosLauncher{
+		n: n, edges: edges, cfg: cfg, traced: true, reg: reg,
+		inject: func(attempt, rank int, ev core.ProgressEvent) chaosAction {
+			if attempt == 0 && rank == 2 && ev.Kind == core.ProgressPhaseStart && ev.Phase == 1 {
+				hung.Store(true)
+				return chaosHang
+			}
+			return chaosNone
+		},
+	}
+	var logMu sync.Mutex
+	var logs []string
+	sup := supervisor.New(l, supervisor.Options{
+		Policy: supervisor.Policy{
+			MaxRestarts: 5,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  5 * time.Millisecond,
+			MinRanks:    1,
+		},
+		Detector:      supervisor.DetectorConfig{MinWindow: 20 * time.Millisecond, MaxWindow: 200 * time.Millisecond},
+		Poll:          5 * time.Millisecond,
+		Retryable:     chaosRetryable,
+		HasCheckpoint: func() bool { _, err := ckpt.ReadManifest(cfg.CheckpointDir); return err == nil },
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+			t.Logf(format, args...)
+		},
+		PostMortem: l.postMortem,
+		OnRestart:  func(restarts, ranks int, resume bool, cause error) { reg.BeginGeneration() },
+	})
+	if err := sup.Run(3, false); err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	if !hung.Load() {
+		t.Fatal("hang injection never fired")
+	}
+	l.mu.Lock()
+	got := l.result
+	l.mu.Unlock()
+	identicalOutcome(t, "post-mortem trace", got, want)
+
+	logMu.Lock()
+	joined := strings.Join(logs, "\n")
+	logMu.Unlock()
+	// The rank hung inside phase 1's progress hook, so its open span chain
+	// is "run/phase[1]" — the dump must name the death site, not just say
+	// "rank 2 went silent".
+	if !strings.Contains(joined, "post-mortem rank 2") {
+		t.Fatalf("no post-mortem for the hung rank in supervisor logs:\n%s", joined)
+	}
+	if !strings.Contains(joined, "open: run/phase[1]") {
+		t.Fatalf("post-mortem does not name the phase the rank died in:\n%s", joined)
+	}
+	// The hung rank's trace still holds completed phase-0 work in its tail.
+	if !strings.Contains(joined, "recent: ") {
+		t.Fatalf("post-mortem has no recent-span evidence:\n%s", joined)
+	}
+
+	// The report survives restart-with-resume: the surviving attempt's
+	// rank-0 tracer covers resume-load plus the remaining phases.
+	rep := obsv.BuildReport(l.rankTracer(0).Snapshot())
+	if rep.Total <= 0 {
+		t.Fatal("surviving attempt's run span did not complete")
+	}
+	if len(rep.Phases) == 0 {
+		t.Fatal("report after resume has no phase rows")
+	}
+	for _, pb := range rep.Phases {
+		if acc := pb.Accounted(); acc > pb.Total {
+			t.Fatalf("phase %d after resume: accounted %v exceeds wall %v", pb.Phase, acc, pb.Total)
+		}
+	}
+	if rep.Overall.Cat[obsv.CatCheckpoint] <= 0 {
+		t.Fatal("resume-load left no checkpoint-category time in the report")
+	}
+	var buf strings.Builder
+	rep.Format(&buf)
+	if !strings.Contains(buf.String(), "all") {
+		t.Fatalf("report missing the all row:\n%s", buf.String())
+	}
+
+	// Per-generation traffic: each generation froze its own (positive)
+	// counter deltas — generation 1's figures must not include the killed
+	// generation 0's traffic (they'd be impossibly large: generation 0 ran
+	// phase 0 from scratch; generation 1 only resumed the cheap tail).
+	var perGen []float64
+	for _, rec := range reg.Records() {
+		if rec.Kind == "counters" && rec.Name == "mpi.rank0" {
+			perGen = append(perGen, rec.Fields["coll_bytes"])
+		}
+	}
+	if len(perGen) != 2 {
+		t.Fatalf("frozen counter records for %d generations, want 2", len(perGen))
+	}
+	for g, v := range perGen {
+		if v <= 0 {
+			t.Fatalf("generation %d recorded %.0f collective bytes, want > 0", g, v)
+		}
 	}
 }
 

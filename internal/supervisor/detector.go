@@ -79,10 +79,18 @@ type Suspect struct {
 	Rank   int
 	Silent time.Duration // how long the rank has been beacon-silent
 	Window time.Duration // the adaptive window it exceeded
+	// LastSpan is the open span path the rank's last beacon carried, when
+	// the world runs traced (filled in by the supervisor, not the
+	// detector): the phase/collective the rank was last seen inside.
+	LastSpan string
 }
 
 func (s Suspect) String() string {
-	return fmt.Sprintf("rank %d silent %v (window %v)", s.Rank, s.Silent.Round(time.Millisecond), s.Window.Round(time.Millisecond))
+	msg := fmt.Sprintf("rank %d silent %v (window %v)", s.Rank, s.Silent.Round(time.Millisecond), s.Window.Round(time.Millisecond))
+	if s.LastSpan != "" {
+		msg += ", last seen in " + s.LastSpan
+	}
+	return msg
 }
 
 // rankTrack models one rank's inter-beacon gaps with a sliding window,

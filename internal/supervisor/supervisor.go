@@ -60,6 +60,16 @@ type Options struct {
 	// OnBeacon observes every beacon after the detector has (verbose
 	// progress displays); nil disables.
 	OnBeacon func(Beacon)
+	// PostMortem, when set, is asked for a condemned rank's last recorded
+	// activity (e.g. its tracer's span tail) right after a hang kill; each
+	// returned line is logged. In-process launchers that hold the ranks'
+	// tracers wire this up; nil disables.
+	PostMortem func(rank int) []string
+	// OnRestart observes every relaunch decision before its backoff sleep:
+	// restarts consumed so far, the next attempt's rank count, whether it
+	// will resume from a checkpoint, and the failure that caused it. nil
+	// disables. Metrics registries use it to mark generation boundaries.
+	OnRestart func(restarts, ranks int, resume bool, cause error)
 }
 
 // HangError reports a world the supervisor killed because its beacons went
@@ -125,6 +135,7 @@ type Supervisor struct {
 	cur      Attempt
 	gen      int // attempt generation; stale beacon sinks are ignored
 	stopping bool
+	last     map[int]Beacon // latest beacon per rank, current attempt only
 }
 
 // New builds a supervisor over the given launcher.
@@ -173,6 +184,7 @@ func (s *Supervisor) Run(ranks int, resume bool) error {
 		s.mu.Lock()
 		s.gen++
 		gen := s.gen
+		s.last = make(map[int]Beacon, ranks)
 		s.mu.Unlock()
 		now := time.Now()
 		for r := 0; r < ranks; r++ {
@@ -229,8 +241,11 @@ func (s *Supervisor) Run(ranks int, resume bool) error {
 		}
 		d := pol.Backoff(consec + 1)
 		s.logf("supervisor: restart %d/%d in %v (cause: %v)", restarts, pol.MaxRestarts, d.Round(time.Millisecond), aerr)
-		time.Sleep(d)
 		resume = s.opt.HasCheckpoint != nil && s.opt.HasCheckpoint()
+		if s.opt.OnRestart != nil {
+			s.opt.OnRestart(restarts, ranks, resume, aerr)
+		}
+		time.Sleep(d)
 	}
 }
 
@@ -239,6 +254,9 @@ func (s *Supervisor) Run(ranks int, resume bool) error {
 func (s *Supervisor) observe(gen int, b Beacon) {
 	s.mu.Lock()
 	stale := gen != s.gen
+	if !stale {
+		s.last[b.Rank] = b
+	}
 	s.mu.Unlock()
 	if stale {
 		return
@@ -271,9 +289,15 @@ func (s *Supervisor) monitor(att Attempt) (error, bool) {
 			if len(sus) == 0 {
 				continue
 			}
+			for i := range sus {
+				if b, ok := s.lastBeacon(sus[i].Rank); ok {
+					sus[i].LastSpan = b.Span
+				}
+			}
 			he := &HangError{Suspects: sus}
 			s.logf("%v; killing the world", he)
 			att.Kill()
+			s.postMortem(sus)
 			if err := <-done; err != nil {
 				he.Cause = err
 			} else {
@@ -281,6 +305,31 @@ func (s *Supervisor) monitor(att Attempt) (error, bool) {
 				return nil, false
 			}
 			return he, true
+		}
+	}
+}
+
+// lastBeacon returns the latest beacon the current attempt's rank emitted.
+func (s *Supervisor) lastBeacon(rank int) (Beacon, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.last[rank]
+	return b, ok
+}
+
+// postMortem logs what each condemned rank was last known to be doing: its
+// final beacon, plus whatever activity record the launcher can produce (for
+// in-process worlds, the rank tracer's span tail).
+func (s *Supervisor) postMortem(sus []Suspect) {
+	for _, u := range sus {
+		if b, ok := s.lastBeacon(u.Rank); ok {
+			s.logf("supervisor: post-mortem rank %d: last beacon kind=%s phase=%d iter=%d span=%q",
+				u.Rank, b.Kind, b.Phase, b.Iteration, b.Span)
+		}
+		if s.opt.PostMortem != nil {
+			for _, line := range s.opt.PostMortem(u.Rank) {
+				s.logf("supervisor: post-mortem rank %d: %s", u.Rank, line)
+			}
 		}
 	}
 }
