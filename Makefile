@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race test-race-all test-chaos test-obsv golden bench fuzz experiments experiments-md clean
+.PHONY: all check build vet test test-race test-race-all test-chaos test-obsv golden bench bench-record bench-smoke fuzz experiments experiments-md clean
 
 all: check
 
@@ -53,12 +53,29 @@ test-chaos:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz passes over the input parsers and the checkpoint decoder.
+# Re-record the committed benchmark baseline: full testbed runs with the
+# per-phase timing breakdown plus the isolated hot-kernel measurements.
+# Commit the resulting BENCH_paperbench.json; timing fields describe the
+# recording machine, the modularity column is what CI gates on.
+bench-record:
+	$(GO) run ./cmd/paperbench -exp bench -json > BENCH_paperbench.json
+	@echo "recorded BENCH_paperbench.json; review and commit it"
+
+# CI smoke gate: rerun the bench workloads (no slow kernel timing), check
+# the JSON schema and fail if any modularity deviates from the committed
+# baseline beyond tolerance.
+bench-smoke:
+	$(GO) run ./cmd/paperbench -exp bench -json -kernels=false -check BENCH_paperbench.json > /dev/null
+
+# Short fuzz passes over the input parsers, the checkpoint decoder and the
+# flat kernel tables (vs a map oracle).
 fuzz:
 	$(GO) test ./internal/gio -fuzz FuzzReadEdgeListText -fuzztime 30s
 	$(GO) test ./internal/gio -fuzz FuzzReadHeader -fuzztime 30s
 	$(GO) test ./internal/gio -fuzz FuzzGroundTruth -fuzztime 30s
 	$(GO) test ./internal/ckpt -fuzz FuzzReadSnapshot -fuzztime 30s
+	$(GO) test ./internal/flat -fuzz FuzzFlatTable -fuzztime 30s
+	$(GO) test ./internal/flat -fuzz FuzzPairTable -fuzztime 30s
 
 # Regenerate every table and figure of the paper (text to stdout).
 experiments:

@@ -8,12 +8,16 @@
 //	paperbench -exp fig3 -graphs mesh-channel,rmat-orkut -ranks 1,2,4
 //	paperbench -exp all -markdown       # GitHub-markdown output
 //	paperbench -scale medium            # 4x larger inputs
+//	paperbench -exp bench -json        # machine-readable benchmark baseline
+//	paperbench -exp bench -json -kernels=false -check BENCH_paperbench.json
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig2 fig3
-// fig4 fig5 fig6 profile all.
+// fig4 fig5 fig6 profile bench all. ("all" covers the paper tables and
+// figures; "bench" is the separate baseline recorder.)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,8 +35,12 @@ func main() {
 		ranks    = flag.String("ranks", "1,2,4,8", "rank counts for scaling experiments")
 		graphs   = flag.String("graphs", "", "comma-separated workload subset for fig3 (default: all)")
 		threads  = flag.Int("threads", 1, "worker threads per rank / shared-memory team size")
-		p        = flag.Int("p", 4, "rank count for fixed-p experiments (table4, table7, fig5/6, profile)")
+		p        = flag.Int("p", 4, "rank count for fixed-p experiments (table4, table7, fig5/6, profile, bench)")
 		markdown = flag.Bool("markdown", false, "emit GitHub markdown instead of aligned text")
+		jsonOut  = flag.Bool("json", false, "bench: emit the report as JSON on stdout")
+		checkF   = flag.String("check", "", "bench: compare against a recorded baseline file; non-zero exit on deviation")
+		tol      = flag.Float64("tol", 0.005, "bench: allowed absolute modularity deviation for -check")
+		kernels  = flag.Bool("kernels", true, "bench: include isolated kernel measurements (slow; disable for CI smoke)")
 	)
 	flag.Parse()
 
@@ -120,6 +128,32 @@ func main() {
 			t, err := experiments.Profile(s, *p)
 			check(err)
 			emit(t)
+		case "bench":
+			ws := experiments.TestGraphs(s)
+			if *graphs != "" {
+				var subset []experiments.Workload
+				for _, name := range strings.Split(*graphs, ",") {
+					w, err := experiments.FindGraph(ws, strings.TrimSpace(name))
+					check(err)
+					subset = append(subset, w)
+				}
+				ws = subset
+			}
+			rep, err := experiments.Bench(s, *p, *threads, ws, *kernels)
+			check(err)
+			if *checkF != "" {
+				base, err := experiments.LoadBenchReport(*checkF)
+				check(err)
+				check(experiments.CompareBench(rep, base, *tol))
+				fmt.Fprintf(os.Stderr, "[bench check OK against %s, tol %g]\n", *checkF, *tol)
+			}
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				check(enc.Encode(rep))
+			} else {
+				emit(experiments.BenchTable(rep))
+			}
 		default:
 			fatalf("unknown experiment %q", id)
 		}

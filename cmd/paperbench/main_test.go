@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distlouvain/internal/experiments"
+)
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1, 2,8")
@@ -18,5 +26,91 @@ func TestParseInts(t *testing.T) {
 	}
 	if _, err := parseInts("-3"); err == nil {
 		t.Fatal("expected positivity error")
+	}
+}
+
+// TestBenchReportRoundTrip runs the bench experiment on one small workload
+// and pushes the report through the same write/load/compare cycle that
+// `make bench-record` and the CI smoke gate use.
+func TestBenchReportRoundTrip(t *testing.T) {
+	ws := experiments.TestGraphs(experiments.Small)
+	w, err := experiments.FindGraph(ws, "smallworld-cnr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := experiments.Bench(experiments.Small, 2, 1, []experiments.Workload{w}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != 1 || rep.Workloads[0].Graph != "smallworld-cnr" {
+		t.Fatalf("unexpected workloads: %+v", rep.Workloads)
+	}
+	bw := rep.Workloads[0]
+	if bw.Modularity <= 0 || bw.Phases == 0 || bw.Iterations == 0 || len(bw.Breakdown) == 0 {
+		t.Fatalf("degenerate bench row: %+v", bw)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := experiments.LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.CompareBench(rep, base, 0); err != nil {
+		t.Fatalf("self-comparison at zero tolerance: %v", err)
+	}
+
+	// A modularity deviation beyond tolerance must fail the gate.
+	drifted := *rep
+	drifted.Workloads = append([]experiments.BenchWorkload(nil), rep.Workloads...)
+	drifted.Workloads[0].Modularity += 0.01
+	if err := experiments.CompareBench(&drifted, base, 0.005); err == nil {
+		t.Fatal("CompareBench accepted a 0.01 modularity drift at tol 0.005")
+	} else if !strings.Contains(err.Error(), "modularity") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+
+	// Schema drift (unknown field) must fail the strict loader.
+	bad := strings.Replace(string(data), "\"schema_version\"", "\"bogus_field\": 1, \"schema_version\"", 1)
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := experiments.LoadBenchReport(badPath); err == nil {
+		t.Fatal("LoadBenchReport accepted an unknown field")
+	}
+}
+
+// TestCommittedBaselineLoads guards the recorded BENCH_paperbench.json at
+// the repository root: it must stay schema-valid and non-degenerate.
+func TestCommittedBaselineLoads(t *testing.T) {
+	rep, err := experiments.LoadBenchReport(filepath.Join("..", "..", "BENCH_paperbench.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != experiments.BenchSchemaVersion {
+		t.Fatalf("baseline schema %d, code expects %d", rep.SchemaVersion, experiments.BenchSchemaVersion)
+	}
+	if len(rep.Workloads) == 0 {
+		t.Fatal("baseline has no workloads")
+	}
+	for _, w := range rep.Workloads {
+		if w.Phases == 0 || w.Iterations == 0 {
+			t.Fatalf("degenerate baseline row %s: %+v", w.Graph, w)
+		}
+	}
+	if len(rep.Kernels) == 0 {
+		t.Fatal("baseline has no kernel measurements")
+	}
+	for _, k := range rep.Kernels {
+		if k.NsPerOp <= 0 {
+			t.Fatalf("degenerate kernel row: %+v", k)
+		}
 	}
 }

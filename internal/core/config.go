@@ -127,6 +127,14 @@ type Config struct {
 	// is set) and returns an error wrapping ErrInterrupted. Either all
 	// ranks of a world set this hook or none — the poll is a collective.
 	Interrupted func() bool
+
+	// refKernels routes the ΔQ sweep and coarse-arc accumulation through
+	// the map-based reference kernels (kernels_ref.go) instead of the flat
+	// tables. Unexported: only the in-package differential tests and
+	// benchmarks set it. Excluded from Hash by construction (Hash lists
+	// its fields explicitly) — and rightly so, since both kernel sets
+	// produce identical trajectories.
+	refKernels bool
 }
 
 func (c *Config) fill() {

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
+	"distlouvain/internal/flat"
 	"distlouvain/internal/mpi"
 	"distlouvain/internal/obsv"
 	"distlouvain/internal/par"
@@ -70,21 +72,29 @@ func (st *phaseState) isActive(lv int64, iter int) bool {
 // evaluateVertex computes lv's ΔQ-maximising move against the current
 // local state plus this iteration's ghost/remote snapshots (lines 7–8 of
 // Algorithm 3). Returns false when lv should stay put.
-func (st *phaseState) evaluateVertex(lv int64, scratch map[int64]float64) (move, bool) {
+//
+// tab is the worker's flat neighbor-community accumulator (phase-lived,
+// epoch-reset per vertex). Neighbor weights accumulate per community in CSR
+// order — the same order the map reference kernel uses — so every e(v→C)
+// sum is bit-identical to the reference, and the best-move selection below
+// is iteration-order independent (strict > on gains, smallest-cid
+// tie-break), so the chosen moves are identical too. evaluateVertexRef in
+// kernels_ref.go is the map oracle the differential tests compare against.
+func (st *phaseState) evaluateVertex(lv int64, tab *flat.Table) (move, bool) {
 	m2 := st.dg.M2
 	cv := st.comm[lv]
-	clear(scratch)
+	tab.Reset()
 	g := st.dg.Global(lv)
 	for _, e := range st.dg.Neighbors(lv) {
 		if e.To == g {
 			continue // self loop moves with the vertex
 		}
-		scratch[st.commOf(e.To)] += e.W
+		tab.Add(st.commOf(e.To), e.W)
 	}
-	if len(scratch) == 0 {
+	if tab.Len() == 0 {
 		return move{}, false
 	}
-	eCur := scratch[cv]
+	eCur, _ := tab.Get(cv)
 	kv := st.dg.K[lv]
 	curInfo, ok := st.infoOf(cv)
 	if !ok {
@@ -94,7 +104,8 @@ func (st *phaseState) evaluateVertex(lv int64, scratch map[int64]float64) (move,
 	best := cv
 	bestGain := 0.0
 	var bestInfo cinfo
-	for cid, evc := range scratch {
+	for i := 0; i < tab.Len(); i++ {
+		cid, evc := tab.At(i)
 		if cid == cv {
 			continue
 		}
@@ -124,32 +135,60 @@ func (st *phaseState) evaluateVertex(lv int64, scratch map[int64]float64) (move,
 // sweep is step (ii) of Algorithm 3: every active local vertex evaluates
 // its best move, double-buffered across the whole sweep. It returns the
 // chosen moves without applying them.
+//
+// Each worker reuses its phase-lived flat table and move buffer. Every
+// moveBuf is truncated BEFORE the parallel region: par.For does not spawn
+// workers whose chunk is empty, so a worker that ran last iteration but not
+// this one would otherwise leak stale moves into the gather below.
 func (st *phaseState) sweep(iter int) []move {
 	sp := st.tr().Begin(obsv.KindStep, "sweep")
 	defer sp.End()
 	t0 := time.Now()
 	defer func() { st.steps.Compute += time.Since(t0) }()
 	nw := st.cfg.Threads
-	perWorker := make([][]move, nw)
+	for w := range st.moveBufs {
+		st.moveBufs[w] = st.moveBufs[w][:0]
+	}
 	par.For(int(st.dg.LocalN), nw, func(w, lo, hi int) {
+		st.sweepRange(w, lo, hi, func(lv int64) int64 { return lv }, iter)
+	})
+	all := st.allMoves[:0]
+	for _, ms := range st.moveBufs {
+		all = append(all, ms...)
+	}
+	st.allMoves = all
+	return all
+}
+
+// sweepRange evaluates vertices vertexAt(lo..hi) on worker w, appending
+// chosen moves to the worker's buffer. The refKernels branch routes through
+// the map-based reference kernel for differential testing.
+func (st *phaseState) sweepRange(w, lo, hi int, vertexAt func(int64) int64, iter int) {
+	moves := st.moveBufs[w]
+	if st.cfg.refKernels {
 		scratch := make(map[int64]float64, 64)
-		var moves []move
-		for lvi := lo; lvi < hi; lvi++ {
-			lv := int64(lvi)
+		for i := lo; i < hi; i++ {
+			lv := vertexAt(int64(i))
 			if !st.isActive(lv, iter) {
 				continue
 			}
-			if mv, ok := st.evaluateVertex(lv, scratch); ok {
+			if mv, ok := st.evaluateVertexRef(lv, scratch); ok {
 				moves = append(moves, mv)
 			}
 		}
-		perWorker[w] = moves
-	})
-	var all []move
-	for _, ms := range perWorker {
-		all = append(all, ms...)
+	} else {
+		tab := st.sweepTabs[w]
+		for i := lo; i < hi; i++ {
+			lv := vertexAt(int64(i))
+			if !st.isActive(lv, iter) {
+				continue
+			}
+			if mv, ok := st.evaluateVertex(lv, tab); ok {
+				moves = append(moves, mv)
+			}
+		}
 	}
-	return all
+	st.moveBufs[w] = moves
 }
 
 // sweepByClasses processes local vertices one distance-1 color class at a
@@ -165,24 +204,15 @@ func (st *phaseState) sweepByClasses(classes [][]int64, iter int) []move {
 	t0 := time.Now()
 	defer func() { st.steps.Compute += time.Since(t0) }()
 	nw := st.cfg.Threads
-	var all []move
+	all := st.allMoves[:0]
 	for _, class := range classes {
-		perWorker := make([][]move, nw)
+		for w := range st.moveBufs {
+			st.moveBufs[w] = st.moveBufs[w][:0]
+		}
 		par.For(len(class), nw, func(w, lo, hi int) {
-			scratch := make(map[int64]float64, 64)
-			var moves []move
-			for i := lo; i < hi; i++ {
-				lv := class[i]
-				if !st.isActive(lv, iter) {
-					continue
-				}
-				if mv, ok := st.evaluateVertex(lv, scratch); ok {
-					moves = append(moves, mv)
-				}
-			}
-			perWorker[w] = moves
+			st.sweepRange(w, lo, hi, func(i int64) int64 { return class[i] }, iter)
 		})
-		for _, ms := range perWorker {
+		for _, ms := range st.moveBufs {
 			// Apply class moves immediately so later classes see them.
 			for _, mv := range ms {
 				st.comm[mv.lv] = mv.to
@@ -190,27 +220,36 @@ func (st *phaseState) sweepByClasses(classes [][]int64, iter int) []move {
 			all = append(all, ms...)
 		}
 	}
+	st.allMoves = all
 	return all
 }
 
 // applyMoves is step (iii)'s local half: update local assignments and
 // accumulate the (ΔA, Δsize) each source/destination community incurred
 // (line 9 of Algorithm 3); the deltas then flow to community owners.
-func (st *phaseState) applyMoves(moves []move) map[int64]delta {
-	deltas := make(map[int64]delta, 2*len(moves))
+//
+// Accumulation runs in move order (so each community's ΔA float sum is
+// bit-identical to the old map implementation), but the deltas are emitted
+// sorted by community ID: pushDeltas then applies and encodes them in an
+// order independent of hash layout, which keeps owner-side float
+// accumulation reproducible run-to-run (see commDelta).
+func (st *phaseState) applyMoves(moves []move) []commDelta {
+	tab := st.deltaTab
+	tab.Reset()
 	for _, mv := range moves {
 		st.comm[mv.lv] = mv.to
 		kv := st.dg.K[mv.lv]
-		d := deltas[mv.from]
-		d.a -= kv
-		d.size--
-		deltas[mv.from] = d
-		d = deltas[mv.to]
-		d.a += kv
-		d.size++
-		deltas[mv.to] = d
+		tab.AddDelta(mv.from, -kv, -1)
+		tab.AddDelta(mv.to, kv, 1)
 	}
-	return deltas
+	out := st.deltaBuf[:0]
+	for i := 0; i < tab.Len(); i++ {
+		cid, a, size := tab.AtDelta(i)
+		out = append(out, commDelta{cid: cid, a: a, size: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].cid < out[j].cid })
+	st.deltaBuf = out
+	return out
 }
 
 // snapshot captures the state an iteration may need to roll back: local
@@ -283,7 +322,12 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 			if err != nil {
 				return stat, fmt.Errorf("core: ETC inactivity allreduce: %w", err)
 			}
-			stat.InactiveFrac = float64(globalInactive) / float64(globalN)
+			if globalN > 0 {
+				// Guard the empty-graph case: 0/0 is NaN, and NaN >= ETCExit
+				// is false, which would silently disable the ETC exit and
+				// poison the reported fraction.
+				stat.InactiveFrac = float64(globalInactive) / float64(globalN)
+			}
 			if stat.InactiveFrac >= st.cfg.ETCExit {
 				stat.Iterations-- // this iteration did not run
 				stat.Exit = ExitETC

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"distlouvain/internal/dgraph"
+	"distlouvain/internal/graph"
+	"distlouvain/internal/mpi"
+)
+
+// KernelBench drives the two hot kernels — the ΔQ sweep and the Step-5
+// coarse-arc aggregation — in isolation on a single-rank in-process world,
+// so go-test benchmarks and the paperbench baseline can measure ns/op and
+// allocs/op without collective noise. useRef selects the map reference
+// kernels (kernels_ref.go); otherwise the flat-table kernels run.
+//
+// Construction warms the state up with two full sweep+apply iterations so
+// the community structure is non-trivial (coarse arcs actually merge) and
+// the phase-lived buffers have reached steady-state capacity. After that,
+// Sweep and CoarseArcs are read-only with respect to the community state:
+// repeated calls do identical work.
+type KernelBench struct {
+	world    *mpi.InprocWorld
+	st       *phaseState
+	oldToNew map[int64]int64
+	steps    StepTimes
+}
+
+// NewKernelBench builds the bench state for an n-vertex edge list.
+func NewKernelBench(n int64, edges []graph.RawEdge, threads int, useRef bool) (*KernelBench, error) {
+	world, err := mpi.NewInprocWorld(1)
+	if err != nil {
+		return nil, err
+	}
+	kb := &KernelBench{world: world}
+	c := mpi.NewComm(world.Endpoint(0))
+	dg, err := dgraph.Build(c, n, edges, nil)
+	if err != nil {
+		world.Close()
+		return nil, err
+	}
+	cfg := &Config{Threads: threads, refKernels: useRef}
+	cfg.fill()
+	st, err := newPhaseState(dg, cfg, 0, &kb.steps)
+	if err != nil {
+		world.Close()
+		return nil, err
+	}
+	kb.st = st
+	for it := 1; it <= 2; it++ {
+		if err := st.fetchCommunityInfo(); err != nil {
+			world.Close()
+			return nil, fmt.Errorf("kernelbench warm-up: %w", err)
+		}
+		moves := st.sweep(it)
+		if err := st.pushDeltas(st.applyMoves(moves)); err != nil {
+			world.Close()
+			return nil, fmt.Errorf("kernelbench warm-up: %w", err)
+		}
+		if err := st.exchangeGhostComm(); err != nil {
+			world.Close()
+			return nil, fmt.Errorf("kernelbench warm-up: %w", err)
+		}
+	}
+	// Single-rank renumbering, exactly as rebuild Steps 1–3 produce it:
+	// surviving communities in ascending ID order, renumbered from 0.
+	survivors := make([]int64, 0, dg.LocalN)
+	for lc := int64(0); lc < dg.LocalN; lc++ {
+		if st.cSize[lc] > 0 {
+			survivors = append(survivors, dg.Base+lc)
+		}
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i] < survivors[j] })
+	kb.oldToNew = make(map[int64]int64, len(survivors))
+	for i, cid := range survivors {
+		kb.oldToNew[cid] = int64(i)
+	}
+	if err := st.fetchCommunityInfo(); err != nil {
+		world.Close()
+		return nil, fmt.Errorf("kernelbench warm-up: %w", err)
+	}
+	return kb, nil
+}
+
+// Sweep runs one full ΔQ sweep over every local vertex without applying the
+// chosen moves, and returns how many moves were proposed.
+func (kb *KernelBench) Sweep() int {
+	return len(kb.st.sweep(1))
+}
+
+// CoarseArcs runs the Step-5 coarse-arc aggregation over the current
+// community assignment and returns the number of distinct coarse arcs.
+func (kb *KernelBench) CoarseArcs() int {
+	if kb.st.cfg.refKernels {
+		return len(kb.st.coarseArcsMap(kb.oldToNew))
+	}
+	return len(kb.st.coarseArcsFlat(kb.oldToNew))
+}
+
+// Close releases the in-process world.
+func (kb *KernelBench) Close() { kb.world.Close() }

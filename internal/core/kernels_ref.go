@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sort"
+
+	"distlouvain/internal/dgraph"
+)
+
+// Reference kernels: the original map-based implementations of the ΔQ sweep
+// accumulator and the coarse-arc aggregator, kept as oracles for the
+// differential tests and benchmarks (Config.refKernels routes a run through
+// them). They must match the flat kernels move for move and — where the
+// flat kernel promises it — bit for bit; kernels_test.go enforces both.
+
+// evaluateVertexRef is evaluateVertex with a map scratch accumulator. The
+// accumulation order over neighbors is identical (CSR order), and the
+// best-move scan is iteration-order independent, so the chosen move is
+// always identical to the flat kernel's.
+func (st *phaseState) evaluateVertexRef(lv int64, scratch map[int64]float64) (move, bool) {
+	m2 := st.dg.M2
+	cv := st.comm[lv]
+	clear(scratch)
+	g := st.dg.Global(lv)
+	for _, e := range st.dg.Neighbors(lv) {
+		if e.To == g {
+			continue // self loop moves with the vertex
+		}
+		scratch[st.commOf(e.To)] += e.W
+	}
+	if len(scratch) == 0 {
+		return move{}, false
+	}
+	eCur := scratch[cv]
+	kv := st.dg.K[lv]
+	curInfo, ok := st.infoOf(cv)
+	if !ok {
+		return move{}, false // stale reference; skip this vertex for now
+	}
+	aCur := curInfo.a - kv
+	best := cv
+	bestGain := 0.0
+	var bestInfo cinfo
+	for cid, evc := range scratch {
+		if cid == cv {
+			continue
+		}
+		ci, ok := st.infoOf(cid)
+		if !ok {
+			continue
+		}
+		gain := 2*(evc-eCur)/m2 - 2*kv*(ci.a-aCur)/(m2*m2)
+		if gain > bestGain || (gain == bestGain && gain > 0 && cid < best) {
+			bestGain = gain
+			best = cid
+			bestInfo = ci
+		}
+	}
+	if best == cv || bestGain <= 0 {
+		return move{}, false
+	}
+	if curInfo.size == 1 && bestInfo.size == 1 && best > cv {
+		return move{}, false
+	}
+	return move{lv: lv, from: cv, to: best}, true
+}
+
+// coarseArcsMap is the sequential map-based Step 5 aggregator. Emission is
+// sorted by (From, To) — same canonical order as the flat kernel — because
+// downstream BuildFromArcs merges parallel arcs with an unstable sort whose
+// float accumulation order follows input order. Per-pair sums accumulate in
+// CSR visit order, bit-identical to the single-threaded flat kernel.
+func (st *phaseState) coarseArcsMap(oldToNew map[int64]int64) []dgraph.Arc {
+	type pair struct{ a, b int64 }
+	acc := make(map[pair]float64)
+	for lv := int64(0); lv < st.dg.LocalN; lv++ {
+		a := oldToNew[st.comm[lv]]
+		for _, e := range st.dg.Neighbors(lv) {
+			acc[pair{a, oldToNew[st.commOf(e.To)]}] += e.W
+		}
+	}
+	arcs := make([]dgraph.Arc, 0, len(acc))
+	for pr, w := range acc {
+		arcs = append(arcs, dgraph.Arc{From: pr.a, To: pr.b, W: w})
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].To < arcs[j].To
+	})
+	return arcs
+}

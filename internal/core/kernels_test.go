@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"distlouvain/internal/gen"
+	"distlouvain/internal/graph"
+)
+
+// floatWeights replaces the unit weights of an edge list with deterministic
+// non-associative float weights, so any order-dependence in float
+// accumulation shows up as a bitwise trajectory difference.
+func floatWeights(edges []graph.RawEdge) []graph.RawEdge {
+	out := make([]graph.RawEdge, len(edges))
+	for i, e := range edges {
+		w := 0.3 + float64((e.U*31+e.V*17+int64(i)*7)%97)*0.137
+		out[i] = graph.RawEdge{U: e.U, V: e.V, W: w}
+	}
+	return out
+}
+
+// sameTrajectory asserts two runs are move-for-move and bit-for-bit equal:
+// same phase count, same per-iteration modularity bits and move counts,
+// same final modularity bits, same assignment.
+func sameTrajectory(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Phases) != len(want.Phases) {
+		t.Fatalf("%s: %d phases vs %d", label, len(got.Phases), len(want.Phases))
+	}
+	for p := range want.Phases {
+		g, w := got.Phases[p], want.Phases[p]
+		if !slices.Equal(g.MovesTrajectory, w.MovesTrajectory) {
+			t.Fatalf("%s: phase %d moves %v vs %v", label, p, g.MovesTrajectory, w.MovesTrajectory)
+		}
+		if len(g.QTrajectory) != len(w.QTrajectory) {
+			t.Fatalf("%s: phase %d ran %d iterations vs %d", label, p, len(g.QTrajectory), len(w.QTrajectory))
+		}
+		for i := range w.QTrajectory {
+			if math.Float64bits(g.QTrajectory[i]) != math.Float64bits(w.QTrajectory[i]) {
+				t.Fatalf("%s: phase %d iter %d Q %.17g vs %.17g", label, p, i, g.QTrajectory[i], w.QTrajectory[i])
+			}
+		}
+	}
+	if math.Float64bits(got.Modularity) != math.Float64bits(want.Modularity) {
+		t.Fatalf("%s: modularity %.17g vs %.17g", label, got.Modularity, want.Modularity)
+	}
+	if !slices.Equal(got.GlobalComm, want.GlobalComm) {
+		t.Fatalf("%s: assignments differ", label)
+	}
+}
+
+// TestFlatKernelsMatchMapReference runs full multi-phase distributed runs
+// with the flat kernels and with the map reference kernels and demands
+// move-for-move, bit-for-bit identical trajectories. Integer edge weights
+// make every float sum order-independent, so the equivalence must hold at
+// any thread count.
+func TestFlatKernelsMatchMapReference(t *testing.T) {
+	n, edges := gen.ErdosRenyi(400, 2400, 11)
+	coloring := Baseline()
+	coloring.UseColoring = true
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"baseline", Baseline()},
+		{"et+tc", ETWithTC(0.25)},
+		{"etc", ETC(0.25)},
+		{"coloring", coloring},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, threads := range []int{1, 3} {
+				flatCfg := tc.cfg
+				flatCfg.Threads = threads
+				refCfg := flatCfg
+				refCfg.refKernels = true
+				got, err := RunOnEdges(3, n, edges, flatCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := RunOnEdges(3, n, edges, refCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := "threads=" + string(rune('0'+threads))
+				sameTrajectory(t, label, got, want)
+			}
+		})
+	}
+}
+
+// TestFlatKernelsMatchMapReferenceFloat is the float-weighted differential:
+// at Threads=1 both kernel sets accumulate every sum in the same order, so
+// even non-associative weights must reproduce bit for bit.
+func TestFlatKernelsMatchMapReferenceFloat(t *testing.T) {
+	n, edges := gen.ErdosRenyi(350, 2100, 23)
+	edges = floatWeights(edges)
+	for _, p := range []int{1, 3} {
+		cfg := Baseline()
+		cfg.Threads = 1
+		refCfg := cfg
+		refCfg.refKernels = true
+		got, err := RunOnEdges(p, n, edges, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RunOnEdges(p, n, edges, refCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTrajectory(t, "p="+string(rune('0'+p)), got, want)
+	}
+}
+
+// TestFloatWeightedRunReproducible is the regression for the coarsening
+// nondeterminism this package shipped with: rebuild emitted coarse arcs in
+// Go map range order, BuildFromArcs merged parallel arcs with an unstable
+// sort, and the resulting float coarse weights differed bit-wise from run
+// to run. With canonical sorted arc emission, the same float-weighted input
+// must retrace the identical trajectory every time — including multi-thread
+// sweeps and multi-rank coarsening.
+func TestFloatWeightedRunReproducible(t *testing.T) {
+	n, edges := gen.ErdosRenyi(400, 2800, 37)
+	edges = floatWeights(edges)
+	cfg := Baseline()
+	cfg.Threads = 3
+	want, err := RunOnEdges(3, n, edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Phases) < 2 {
+		t.Fatalf("run converged in %d phase(s); coarsening path not exercised", len(want.Phases))
+	}
+	for run := 0; run < 3; run++ {
+		got, err := RunOnEdges(3, n, edges, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTrajectory(t, "rerun", got, want)
+	}
+}
+
+// TestFloatWeightedResumeBitIdentical extends the checkpoint equivalence
+// guarantee to float-weighted graphs: resuming a committed snapshot at the
+// same rank count retraces the uninterrupted trajectory bit for bit. (Rank
+// counts may not vary here — float summation order legitimately depends on
+// the vertex partition.)
+func TestFloatWeightedResumeBitIdentical(t *testing.T) {
+	n, edges := gen.ErdosRenyi(300, 1800, 41)
+	edges = floatWeights(edges)
+	cfg := Baseline()
+	cfg.Threads = 2
+	want, err := RunOnEdges(3, n, edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Phases) < 2 {
+		t.Fatalf("run converged in %d phase(s); no phase boundary to checkpoint", len(want.Phases))
+	}
+	dir := t.TempDir()
+	ckptCfg := cfg
+	ckptCfg.CheckpointDir = dir
+	got, err := RunOnEdges(3, n, edges, ckptCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutcome(t, "checkpointing run", got, want)
+	sameOutcome(t, "resume", resumeInproc(t, 3, dir, cfg), want)
+}
+
+// TestSweepSteadyStateAllocs pins the satellite claim that the hoisted
+// per-worker tables and move buffers stop the sweep from allocating per
+// vertex or per class: after warm-up, a single-threaded flat sweep performs
+// at most one constant allocation (the par.For body closure, which escapes
+// because the pool may hand it to goroutines) regardless of graph size.
+func TestSweepSteadyStateAllocs(t *testing.T) {
+	n, edges := gen.ErdosRenyi(500, 3000, 7)
+	kb, err := NewKernelBench(n, edges, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kb.Close()
+	kb.Sweep() // settle buffer capacities
+	allocs := testing.AllocsPerRun(20, func() { kb.Sweep() })
+	if allocs > 1 {
+		t.Fatalf("steady-state flat sweep allocates %.1f times per run, want <= 1", allocs)
+	}
+}
+
+func benchKernel(b *testing.B, useRef bool, op func(*KernelBench) int) {
+	n, edges := gen.ErdosRenyi(5000, 40000, 13)
+	kb, err := NewKernelBench(n, edges, 1, useRef)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kb.Close()
+	op(kb) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op(kb)
+	}
+}
+
+func BenchmarkSweepFlat(b *testing.B) {
+	benchKernel(b, false, func(kb *KernelBench) int { return kb.Sweep() })
+}
+
+func BenchmarkSweepMap(b *testing.B) {
+	benchKernel(b, true, func(kb *KernelBench) int { return kb.Sweep() })
+}
+
+func BenchmarkCoarseArcsFlat(b *testing.B) {
+	benchKernel(b, false, func(kb *KernelBench) int { return kb.CoarseArcs() })
+}
+
+func BenchmarkCoarseArcsMap(b *testing.B) {
+	benchKernel(b, true, func(kb *KernelBench) int { return kb.CoarseArcs() })
+}

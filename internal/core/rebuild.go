@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"distlouvain/internal/dgraph"
+	"distlouvain/internal/flat"
 	"distlouvain/internal/mpi"
 	"distlouvain/internal/obsv"
+	"distlouvain/internal/par"
 	"distlouvain/internal/partition"
 )
 
@@ -129,18 +131,17 @@ func (st *phaseState) rebuild(extraIDs []int64) (*dgraph.DistGraph, map[int64]in
 
 	// Step 5: partial coarse edge lists. Every local fine arc v→u maps to
 	// the coarse arc new(comm(v))→new(comm(u)); parallel arcs merge.
-	type pair struct{ a, b int64 }
-	acc := make(map[pair]float64)
-	for lv := int64(0); lv < st.dg.LocalN; lv++ {
-		a := oldToNew[st.comm[lv]]
-		for _, e := range st.dg.Neighbors(lv) {
-			b := oldToNew[st.commOf(e.To)]
-			acc[pair{a, b}] += e.W
-		}
-	}
-	arcs := make([]dgraph.Arc, 0, len(acc))
-	for pr, w := range acc {
-		arcs = append(arcs, dgraph.Arc{From: pr.a, To: pr.b, W: w})
+	//
+	// Arcs MUST leave this step sorted by (From, To): BuildFromArcs merges
+	// parallel arcs with an unstable sort, so equal keys from different
+	// ranks sum in input order — emitting in hash-map range order here made
+	// float-weighted coarse graphs differ bit-wise run to run. Both kernels
+	// (flat and map reference) emit in canonical sorted order.
+	var arcs []dgraph.Arc
+	if st.cfg.refKernels {
+		arcs = st.coarseArcsMap(oldToNew)
+	} else {
+		arcs = st.coarseArcsFlat(oldToNew)
 	}
 
 	// Steps 6–7: redistribute to an even vertex partition and rebuild the
@@ -151,4 +152,77 @@ func (st *phaseState) rebuild(extraIDs []int64) (*dgraph.DistGraph, map[int64]in
 		return nil, nil, err
 	}
 	return ndg, oldToNew, nil
+}
+
+// coarseArcsFlat accumulates the partial coarse arcs of Step 5 in per-worker
+// flat (src,dst) tables, sorts each worker's partial independently (pairs
+// are unique within a table, so the unstable sort is deterministic), and
+// k-way merges the sorted partials, summing duplicate pairs in ascending
+// worker order. Within a worker, each pair's weight accumulates in CSR visit
+// order, so the final per-pair sums depend only on the graph and the thread
+// count — never on hash layout. At Threads=1 the sums are bit-identical to
+// the sequential map reference.
+func (st *phaseState) coarseArcsFlat(oldToNew map[int64]int64) []dgraph.Arc {
+	nw := st.cfg.Threads
+	parts := make([][]dgraph.Arc, nw)
+	par.For(int(st.dg.LocalN), nw, func(w, lo, hi int) {
+		tab := flat.NewPairTable(256)
+		for lvi := lo; lvi < hi; lvi++ {
+			lv := int64(lvi)
+			a := oldToNew[st.comm[lv]]
+			for _, e := range st.dg.Neighbors(lv) {
+				tab.Add(a, oldToNew[st.commOf(e.To)], e.W)
+			}
+		}
+		arcs := make([]dgraph.Arc, tab.Len())
+		for i := range arcs {
+			a, b, wt := tab.At(i)
+			arcs[i] = dgraph.Arc{From: a, To: b, W: wt}
+		}
+		sort.Slice(arcs, func(i, j int) bool {
+			if arcs[i].From != arcs[j].From {
+				return arcs[i].From < arcs[j].From
+			}
+			return arcs[i].To < arcs[j].To
+		})
+		parts[w] = arcs
+	})
+	if nw == 1 {
+		return parts[0]
+	}
+	var total int
+	for _, p := range parts { // parts[w] is nil for unspawned empty ranges
+		total += len(p)
+	}
+	out := make([]dgraph.Arc, 0, total)
+	heads := make([]int, nw)
+	for {
+		best := -1
+		for w := 0; w < nw; w++ {
+			if heads[w] >= len(parts[w]) {
+				continue
+			}
+			if best < 0 {
+				best = w
+				continue
+			}
+			a, b := parts[w][heads[w]], parts[best][heads[best]]
+			// Strict less: on equal pairs the lowest worker wins, so
+			// duplicates drain — and sum — in worker order.
+			if a.From < b.From || (a.From == b.From && a.To < b.To) {
+				best = w
+			}
+		}
+		if best < 0 {
+			break
+		}
+		arc := parts[best][heads[best]]
+		heads[best]++
+		if n := len(out); n > 0 && out[n-1].From == arc.From && out[n-1].To == arc.To {
+			out[n-1].W += arc.W
+			continue
+		}
+		out = append(out, arc)
+	}
+	return out
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"distlouvain/internal/dgraph"
+	"distlouvain/internal/flat"
 	"distlouvain/internal/mpi"
 	"distlouvain/internal/obsv"
 	"distlouvain/internal/par"
@@ -56,6 +57,20 @@ type phaseState struct {
 	prevComm []int64
 	seed     uint64
 
+	// Phase-lived kernel scratch, allocated once per phase and reused
+	// every iteration (see DESIGN "kernel memory layout"):
+	// sweepTabs[w] is worker w's flat neighbor-community accumulator;
+	// moveBufs[w] is worker w's move buffer; allMoves is the gathered
+	// per-iteration move list; deltaTab/deltaBuf accumulate and emit the
+	// per-iteration community deltas; arena backs the encode buffers of
+	// the per-iteration exchanges.
+	sweepTabs []*flat.Table
+	moveBufs  [][]move
+	allMoves  []move
+	deltaTab  *flat.Table
+	deltaBuf  []commDelta
+	arena     mpi.Arena
+
 	steps *StepTimes
 }
 
@@ -78,6 +93,12 @@ func newPhaseState(dg *dgraph.DistGraph, cfg *Config, phaseIdx int, steps *StepT
 		seed:       cfg.Seed ^ par.Mix64(uint64(phaseIdx)+0x5851f42d4c957f2d),
 		steps:      steps,
 	}
+	st.sweepTabs = make([]*flat.Table, cfg.Threads)
+	for w := range st.sweepTabs {
+		st.sweepTabs[w] = flat.NewTable(64)
+	}
+	st.moveBufs = make([][]move, cfg.Threads)
+	st.deltaTab = flat.NewTable(256)
 	for lv := int64(0); lv < n; lv++ {
 		g := dg.Global(lv)
 		st.comm[lv] = g
@@ -157,9 +178,15 @@ func (st *phaseState) exchangeGhostComm() error {
 	defer func() { st.steps.GhostComm += time.Since(t0) }()
 	c := st.dg.Comm
 
+	// Encode buffers come from the per-phase arena: after the first
+	// iteration their capacities stabilize and this fast path allocates
+	// nothing. Handing them straight to the collective is safe because
+	// Transport.Send copies (see mpi.Arena).
+	st.arena.Reset()
 	encodeFor := func(q int) []byte {
+		bp := st.arena.Grab()
+		buf := *bp
 		if st.cfg.SendChangedOnly {
-			var buf []byte
 			for i, lv := range st.pushList[q] {
 				if v := st.comm[lv]; v != st.lastSent[q][i] {
 					buf = mpi.AppendInt64(buf, int64(i))
@@ -167,12 +194,12 @@ func (st *phaseState) exchangeGhostComm() error {
 					st.lastSent[q][i] = v
 				}
 			}
-			return buf
+		} else {
+			for _, lv := range st.pushList[q] {
+				buf = mpi.AppendInt64(buf, st.comm[lv])
+			}
 		}
-		buf := make([]byte, 0, 8*len(st.pushList[q]))
-		for _, lv := range st.pushList[q] {
-			buf = mpi.AppendInt64(buf, st.comm[lv])
-		}
+		*bp = buf
 		return buf
 	}
 	decodeFrom := func(q int, data []byte) error {
@@ -292,9 +319,14 @@ func (st *phaseState) fetchCommunityInfo() error {
 	for q := range reqByOwner {
 		sort.Slice(reqByOwner[q], func(i, j int) bool { return reqByOwner[q][i] < reqByOwner[q][j] })
 	}
+	// Both encode rounds draw from the per-phase arena; no Reset between
+	// them — the request buffers stay claimed until the replies are built.
+	st.arena.Reset()
 	send := make([][]byte, p)
 	for q := 0; q < p; q++ {
-		send[q] = mpi.EncodeInt64s(reqByOwner[q])
+		bp := st.arena.Grab()
+		*bp = mpi.AppendInt64s(*bp, reqByOwner[q])
+		send[q] = *bp
 	}
 	reqs, err := c.Alltoall(send)
 	if err != nil {
@@ -307,7 +339,8 @@ func (st *phaseState) fetchCommunityInfo() error {
 		if err != nil {
 			return err
 		}
-		buf := make([]byte, 0, 16*len(ids))
+		bp := st.arena.Grab()
+		buf := *bp
 		for _, cid := range ids {
 			if !st.dg.IsLocal(cid) {
 				return fmt.Errorf("core: rank %d asked rank %d for non-owned community %d", q, c.Rank(), cid)
@@ -316,6 +349,7 @@ func (st *phaseState) fetchCommunityInfo() error {
 			buf = mpi.AppendFloat64(buf, st.cA[lc])
 			buf = mpi.AppendInt64(buf, st.cSize[lc])
 		}
+		*bp = buf
 		resp[q] = buf
 	}
 	answers, err := c.Alltoall(resp)
@@ -410,26 +444,50 @@ type delta struct {
 	size int64
 }
 
+// commDelta is one community's (ΔA, Δsize) of an iteration, tagged with its
+// ID. applyMoves emits these sorted by cid, which fixes the apply and
+// encode order — a Go map here would randomize the order deltas reach
+// owners and the byte layout of every delta message run-to-run.
+type commDelta struct {
+	cid  int64
+	a    float64
+	size int64
+}
+
 // pushDeltas is step (iii) of Algorithm 3: updated information on ghost
 // communities travels to their owners; owners fold in the deltas for their
-// local communities.
-func (st *phaseState) pushDeltas(deltas map[int64]delta) error {
+// local communities. deltas must be sorted by community ID (applyMoves
+// guarantees it), so both the local applies and every rank's wire payload
+// are in canonical ascending-cid order: community-owner float accumulation
+// happens in the same order every run, giving float-weighted graphs the
+// same bit-identical trajectory guarantee integer weights get for free.
+func (st *phaseState) pushDeltas(deltas []commDelta) error {
 	sp := st.tr().Begin(obsv.KindP2P, "community-push")
 	defer sp.End()
 	t0 := time.Now()
 	defer func() { st.steps.CommunityComm += time.Since(t0) }()
 	c := st.dg.Comm
 	p := c.Size()
+	st.arena.Reset()
 	send := make([][]byte, p)
-	for cid, d := range deltas {
-		if st.dg.IsLocal(cid) {
-			st.applyDelta(cid, d)
+	bufs := make([]*[]byte, p)
+	for _, d := range deltas {
+		if st.dg.IsLocal(d.cid) {
+			st.applyDelta(d.cid, delta{a: d.a, size: d.size})
 			continue
 		}
-		o := st.dg.Part.Owner(cid)
-		send[o] = mpi.AppendInt64(send[o], cid)
-		send[o] = mpi.AppendFloat64(send[o], d.a)
-		send[o] = mpi.AppendInt64(send[o], d.size)
+		o := st.dg.Part.Owner(d.cid)
+		if bufs[o] == nil {
+			bufs[o] = st.arena.Grab()
+		}
+		*bufs[o] = mpi.AppendInt64(*bufs[o], d.cid)
+		*bufs[o] = mpi.AppendFloat64(*bufs[o], d.a)
+		*bufs[o] = mpi.AppendInt64(*bufs[o], d.size)
+	}
+	for o, bp := range bufs {
+		if bp != nil {
+			send[o] = *bp
+		}
 	}
 	recv, err := c.Alltoall(send)
 	if err != nil {

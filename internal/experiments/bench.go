@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"distlouvain/internal/core"
+	"distlouvain/internal/dgraph"
+	"distlouvain/internal/gen"
+	"distlouvain/internal/gio"
+	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
+)
+
+// BenchSchemaVersion identifies the BENCH_paperbench.json layout. Bump it
+// when a field changes meaning; CompareBench refuses mismatched versions so
+// a stale baseline fails loudly instead of comparing wrong columns.
+const BenchSchemaVersion = 1
+
+// BenchPhase is one phase row of a workload's rank-0 timing breakdown
+// (obsv.BuildReport categories, §V-A).
+type BenchPhase struct {
+	Phase        int     `json:"phase"`
+	Iterations   int     `json:"iterations"`
+	TotalMS      float64 `json:"total_ms"`
+	ComputeMS    float64 `json:"compute_ms"`
+	P2PMS        float64 `json:"p2p_ms"`
+	CollectiveMS float64 `json:"collective_ms"`
+	CoarsenMS    float64 `json:"coarsen_ms"`
+}
+
+// BenchWorkload records one full distributed run of a testbed graph.
+type BenchWorkload struct {
+	Graph      string       `json:"graph"`
+	Vertices   int64        `json:"vertices"`
+	Edges      int          `json:"edges"`
+	Ranks      int          `json:"ranks"`
+	Threads    int          `json:"threads"`
+	Modularity float64      `json:"modularity"`
+	Phases     int          `json:"phases"`
+	Iterations int          `json:"iterations"`
+	WallMS     float64      `json:"wall_ms"`
+	Breakdown  []BenchPhase `json:"breakdown"`
+}
+
+// BenchKernel records one isolated hot-kernel measurement
+// (core.KernelBench via testing.Benchmark).
+type BenchKernel struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// BenchReport is the JSON document `paperbench -exp bench -json` emits and
+// `make bench-record` commits as BENCH_paperbench.json. Timing fields are
+// machine-dependent context; the modularity column is the deterministic
+// quantity the CI smoke gate compares.
+type BenchReport struct {
+	SchemaVersion int             `json:"schema_version"`
+	Scale         string          `json:"scale"`
+	GoVersion     string          `json:"go_version"`
+	MaxProcs      int             `json:"gomaxprocs"`
+	Workloads     []BenchWorkload `json:"workloads"`
+	Kernels       []BenchKernel   `json:"kernels,omitempty"`
+}
+
+// benchTracedRun is distRun with a tracer per rank; it returns rank 0's
+// result, rank 0's timing report and the wall time.
+func benchTracedRun(p, threads int, w Workload) (*core.Result, *obsv.Report, time.Duration, error) {
+	tracers := make([]*obsv.Tracer, p)
+	for r := range tracers {
+		tracers[r] = obsv.NewTracer(r, obsv.DefaultCapacity)
+	}
+	cfg := core.Baseline()
+	cfg.Threads = threads
+	var root *core.Result
+	start := time.Now()
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		tr := tracers[c.Rank()]
+		c.SetTracer(tr)
+		rcfg := cfg
+		rcfg.Tracer = tr
+		lo, hi := gio.SegmentRange(int64(len(w.Edges)), c.Rank(), p)
+		dg, err := dgraph.Build(c, w.N, w.Edges[lo:hi], nil)
+		if err != nil {
+			return err
+		}
+		res, err := core.Run(dg, rcfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			root = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return root, obsv.BuildReport(tracers[0].Snapshot()), time.Since(start), nil
+}
+
+// Bench runs the benchmark baseline: one traced distributed run per
+// workload, plus (when kernels is true) the four isolated hot-kernel
+// measurements — flat and map-reference variants of the ΔQ sweep and the
+// coarse-arc aggregation.
+func Bench(s Scale, p, threads int, ws []Workload, kernels bool) (*BenchReport, error) {
+	rep := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Scale:         scaleName(s),
+		GoVersion:     runtime.Version(),
+		MaxProcs:      runtime.GOMAXPROCS(0),
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, w := range ws {
+		res, timing, wall, err := benchTracedRun(p, threads, w)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", w.Name, err)
+		}
+		bw := BenchWorkload{
+			Graph:      w.Name,
+			Vertices:   w.N,
+			Edges:      len(w.Edges),
+			Ranks:      p,
+			Threads:    threads,
+			Modularity: res.Modularity,
+			Phases:     len(res.Phases),
+			Iterations: res.TotalIterations,
+			WallMS:     ms(wall),
+		}
+		for _, pb := range timing.Phases {
+			bw.Breakdown = append(bw.Breakdown, BenchPhase{
+				Phase:        pb.Phase,
+				Iterations:   pb.Iterations,
+				TotalMS:      ms(pb.Total),
+				ComputeMS:    ms(pb.Cat[obsv.CatCompute]),
+				P2PMS:        ms(pb.Cat[obsv.CatP2P]),
+				CollectiveMS: ms(pb.Cat[obsv.CatCollective]),
+				CoarsenMS:    ms(pb.Cat[obsv.CatCoarsen]),
+			})
+		}
+		rep.Workloads = append(rep.Workloads, bw)
+	}
+	if kernels {
+		ks, err := benchKernels(threads)
+		if err != nil {
+			return nil, err
+		}
+		rep.Kernels = ks
+	}
+	return rep, nil
+}
+
+// benchKernels measures the hot kernels in isolation on a fixed synthetic
+// input (independent of Scale so kernel numbers stay comparable across
+// baselines recorded at different scales).
+func benchKernels(threads int) ([]BenchKernel, error) {
+	n, edges := gen.ErdosRenyi(5000, 40000, 13)
+	specs := []struct {
+		name   string
+		ref    bool
+		coarse bool
+	}{
+		{"sweep/flat", false, false},
+		{"sweep/map", true, false},
+		{"coarse-arcs/flat", false, true},
+		{"coarse-arcs/map", true, true},
+	}
+	out := make([]BenchKernel, 0, len(specs))
+	for _, spec := range specs {
+		kb, err := core.NewKernelBench(n, edges, threads, spec.ref)
+		if err != nil {
+			return nil, fmt.Errorf("bench kernel %s: %w", spec.name, err)
+		}
+		op := kb.Sweep
+		if spec.coarse {
+			op = kb.CoarseArcs
+		}
+		op() // settle steady-state capacities before timing
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		})
+		out = append(out, BenchKernel{
+			Name:        spec.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		kb.Close()
+	}
+	return out, nil
+}
+
+func scaleName(s Scale) string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	}
+	return fmt.Sprintf("scale(%d)", int(s))
+}
+
+// LoadBenchReport reads and strictly decodes a recorded baseline; unknown
+// fields are an error, so the file doubles as a schema check.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var rep BenchReport
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// CompareBench gates a fresh report against a recorded baseline: same
+// schema, every baseline workload present with matching shape (ranks,
+// threads, input size) and modularity within tol. Timing fields are
+// deliberately not compared — they describe the recording machine.
+func CompareBench(cur, base *BenchReport, tol float64) error {
+	if cur.SchemaVersion != base.SchemaVersion {
+		return fmt.Errorf("bench schema version %d, baseline has %d (re-record the baseline)", cur.SchemaVersion, base.SchemaVersion)
+	}
+	if cur.Scale != base.Scale {
+		return fmt.Errorf("bench scale %q, baseline recorded at %q", cur.Scale, base.Scale)
+	}
+	curBy := make(map[string]BenchWorkload, len(cur.Workloads))
+	for _, w := range cur.Workloads {
+		curBy[w.Graph] = w
+	}
+	for _, want := range base.Workloads {
+		got, ok := curBy[want.Graph]
+		if !ok {
+			return fmt.Errorf("bench workload %s missing from current run", want.Graph)
+		}
+		if got.Ranks != want.Ranks || got.Threads != want.Threads {
+			return fmt.Errorf("bench %s ran at p=%d t=%d, baseline at p=%d t=%d",
+				want.Graph, got.Ranks, got.Threads, want.Ranks, want.Threads)
+		}
+		if got.Vertices != want.Vertices || got.Edges != want.Edges {
+			return fmt.Errorf("bench %s input is %dv/%de, baseline recorded %dv/%de (generator drift)",
+				want.Graph, got.Vertices, got.Edges, want.Vertices, want.Edges)
+		}
+		if got.Phases == 0 || got.Iterations == 0 {
+			return fmt.Errorf("bench %s did no work (%d phases, %d iterations)", want.Graph, got.Phases, got.Iterations)
+		}
+		if d := math.Abs(got.Modularity - want.Modularity); d > tol {
+			return fmt.Errorf("bench %s modularity %.6f deviates from baseline %.6f by %.6f (tol %.6f)",
+				want.Graph, got.Modularity, want.Modularity, d, tol)
+		}
+	}
+	return nil
+}
+
+// BenchTable renders the report for human consumption (the non-JSON mode of
+// paperbench -exp bench).
+func BenchTable(rep *BenchReport) *Table {
+	t := &Table{
+		ID:     "Bench",
+		Title:  fmt.Sprintf("Benchmark baseline (scale %s, %s, GOMAXPROCS=%d)", rep.Scale, rep.GoVersion, rep.MaxProcs),
+		Header: []string{"graph", "p", "threads", "Modularity", "phases", "iters", "wall"},
+	}
+	for _, w := range rep.Workloads {
+		t.Rows = append(t.Rows, []string{
+			w.Graph,
+			fmt.Sprintf("%d", w.Ranks),
+			fmt.Sprintf("%d", w.Threads),
+			fmt.Sprintf("%.4f", w.Modularity),
+			fmt.Sprintf("%d", w.Phases),
+			fmt.Sprintf("%d", w.Iterations),
+			fmt.Sprintf("%.0fms", w.WallMS),
+		})
+	}
+	for _, k := range rep.Kernels {
+		t.Rows = append(t.Rows, []string{
+			"kernel:" + k.Name, "-", "-",
+			fmt.Sprintf("%dns/op", k.NsPerOp),
+			"-", "-",
+			fmt.Sprintf("%dallocs", k.AllocsPerOp),
+		})
+	}
+	return t
+}

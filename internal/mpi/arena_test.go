@@ -1,0 +1,61 @@
+package mpi
+
+import "testing"
+
+func TestArenaReuse(t *testing.T) {
+	var a Arena
+	bp := a.Grab()
+	*bp = AppendInt64(*bp, 1)
+	*bp = AppendInt64(*bp, 2)
+	first := *bp
+	if len(first) != 16 {
+		t.Fatalf("len = %d, want 16", len(first))
+	}
+	a.Reset()
+	bp2 := a.Grab()
+	if len(*bp2) != 0 {
+		t.Fatalf("regrabbed buffer has len %d, want 0", len(*bp2))
+	}
+	if cap(*bp2) < 16 {
+		t.Fatalf("regrabbed buffer lost its capacity: cap = %d", cap(*bp2))
+	}
+	if &first[0] != &(*bp2)[:1][0] {
+		t.Fatal("regrabbed buffer does not reuse prior storage")
+	}
+}
+
+func TestArenaDistinctBuffers(t *testing.T) {
+	var a Arena
+	b1 := a.Grab()
+	b2 := a.Grab()
+	*b1 = AppendInt64(*b1, 7)
+	*b2 = AppendInt64(*b2, 9)
+	v1, err := DecodeInt64s(*b1)
+	if err != nil || v1[0] != 7 {
+		t.Fatalf("b1 = %v, %v", v1, err)
+	}
+	v2, err := DecodeInt64s(*b2)
+	if err != nil || v2[0] != 9 {
+		t.Fatalf("b2 = %v, %v", v2, err)
+	}
+}
+
+// TestArenaSteadyStateNoAlloc proves the arena-backed encode cycle stops
+// allocating once buffer capacities stabilize.
+func TestArenaSteadyStateNoAlloc(t *testing.T) {
+	var a Arena
+	cycle := func() {
+		a.Reset()
+		for q := 0; q < 4; q++ {
+			bp := a.Grab()
+			for i := 0; i < 100; i++ {
+				*bp = AppendInt64(*bp, int64(i))
+			}
+		}
+	}
+	cycle() // warm up capacities
+	allocs := testing.AllocsPerRun(100, cycle)
+	if allocs > 0 {
+		t.Fatalf("steady-state arena cycle allocates %.1f times per run", allocs)
+	}
+}

@@ -109,6 +109,44 @@ func (d *Decoder) Float64s(n int) ([]float64, error) {
 	return out, nil
 }
 
+// Arena is a pool of reusable encode buffers for the per-iteration message
+// paths (ghost exchange, community deltas, info requests). Grab hands out a
+// zero-length buffer backed by previously grown storage; Reset recycles
+// every buffer at once. After a few iterations the buffers reach their
+// steady-state capacities and the encode paths stop allocating entirely.
+//
+// Reusing a buffer that was passed to a collective is safe once the call
+// has returned: Transport.Send contractually takes its own copy of the
+// payload (both the in-process and the TCP transport copy into their frame
+// before returning), so the arena's buffers never escape into the
+// transport. That contract is what lets the encode path go "zero-copy" —
+// the only copy left is the transport's own framing copy.
+//
+// An Arena is not safe for concurrent use; keep one per rank (the encode
+// loops are single-threaded driver code).
+type Arena struct {
+	bufs [][]byte
+	next int
+}
+
+// Reset makes every grabbed buffer available again. Buffers handed out
+// before Reset must not be written afterwards — their storage will be
+// reissued.
+func (a *Arena) Reset() { a.next = 0 }
+
+// Grab returns a pointer to a zero-length buffer slot. Append through the
+// pointer (*bp = AppendInt64(*bp, v)) so capacity growth is retained for
+// the next cycle.
+func (a *Arena) Grab() *[]byte {
+	if a.next == len(a.bufs) {
+		a.bufs = append(a.bufs, nil)
+	}
+	bp := &a.bufs[a.next]
+	a.next++
+	*bp = (*bp)[:0]
+	return bp
+}
+
 // EncodeInt64s serializes vs into a fresh buffer.
 func EncodeInt64s(vs []int64) []byte {
 	return AppendInt64s(make([]byte, 0, 8*len(vs)), vs)

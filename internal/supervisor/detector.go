@@ -235,6 +235,25 @@ func (d *Detector) Suspects(now time.Time) []Suspect {
 	return out
 }
 
+// Live returns every rank not yet marked Done, with its current silence and
+// window, lowest rank first. A hang kills the whole world, so the
+// post-mortem wants every rank that died with it — including the original
+// hanger, whose adaptive window may be wider than its blocked victims' and
+// so may not have crossed into Suspect yet when the world is condemned.
+func (d *Detector) Live(now time.Time) []Suspect {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []Suspect
+	for rank, t := range d.ranks {
+		if t.done {
+			continue
+		}
+		out = append(out, Suspect{Rank: rank, Silent: now.Sub(t.last), Window: d.window(t)})
+	}
+	sortSuspects(out)
+	return out
+}
+
 func sortSuspects(s []Suspect) {
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j].Rank < s[j-1].Rank; j-- {

@@ -297,7 +297,18 @@ func (s *Supervisor) monitor(att Attempt) (error, bool) {
 			he := &HangError{Suspects: sus}
 			s.logf("%v; killing the world", he)
 			att.Kill()
-			s.postMortem(sus)
+			// The kill takes the whole world, so the post-mortem covers
+			// every live rank, not just the condemned ones: the rank that
+			// caused the hang may have a wider adaptive window than the
+			// peers it left blocked in a collective, and then it is the
+			// victims — not the hanger — that cross into Suspect first.
+			live := s.det.Live(time.Now())
+			for i := range live {
+				if b, ok := s.lastBeacon(live[i].Rank); ok {
+					live[i].LastSpan = b.Span
+				}
+			}
+			s.postMortem(live)
 			if err := <-done; err != nil {
 				he.Cause = err
 			} else {
