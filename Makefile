@@ -67,8 +67,8 @@ bench-record:
 bench-smoke:
 	$(GO) run ./cmd/paperbench -exp bench -json -kernels=false -check BENCH_paperbench.json > /dev/null
 
-# Short fuzz passes over the input parsers, the checkpoint decoder and the
-# flat kernel tables (vs a map oracle).
+# Short fuzz passes over the input parsers, the checkpoint decoder, the
+# flat kernel tables (vs a map oracle) and the wire-v2 varint codec.
 fuzz:
 	$(GO) test ./internal/gio -fuzz FuzzReadEdgeListText -fuzztime 30s
 	$(GO) test ./internal/gio -fuzz FuzzReadHeader -fuzztime 30s
@@ -76,6 +76,7 @@ fuzz:
 	$(GO) test ./internal/ckpt -fuzz FuzzReadSnapshot -fuzztime 30s
 	$(GO) test ./internal/flat -fuzz FuzzFlatTable -fuzztime 30s
 	$(GO) test ./internal/flat -fuzz FuzzPairTable -fuzztime 30s
+	$(GO) test ./internal/mpi -fuzz FuzzVarintCodec -fuzztime 30s
 
 # Regenerate every table and figure of the paper (text to stdout).
 experiments:

@@ -66,22 +66,25 @@ import (
 
 func main() {
 	var (
-		np        = flag.Int("np", 4, "in-process rank count")
-		transport = flag.String("transport", "inproc", "inproc, tcp, or tcp-local (self-spawning local processes)")
-		rank      = flag.Int("rank", 0, "tcp: this process's rank")
-		hosts     = flag.String("hosts", "", "tcp: comma-separated host:port per rank")
-		variant   = flag.String("variant", "baseline", "baseline, tc, et, etc, ettc")
-		alpha     = flag.Float64("alpha", 0.25, "early-termination decay (et, etc, ettc)")
-		tau       = flag.Float64("tau", 0, "convergence threshold (default 1e-6)")
-		threads   = flag.Int("threads", 1, "worker threads per rank")
-		seed      = flag.Uint64("seed", 1, "early-termination seed")
-		pruned    = flag.Bool("pruned-ghosts", false, "send only changed ghost updates")
-		edgeBal   = flag.Bool("edgebalance", false, "edge-balanced input partition instead of even vertex split")
-		neighbor  = flag.Bool("neighbor-coll", false, "use sparse neighborhood collectives for ghost exchange")
-		coloring  = flag.Bool("coloring", false, "sweep by distance-1 color classes (distributed Jones-Plassmann)")
-		outPath   = flag.String("o", "", "write detected communities (one label per line)")
-		truthPath = flag.String("truth", "", "ground-truth file for quality scoring")
-		verbose   = flag.Bool("v", false, "per-phase progress output")
+		np         = flag.Int("np", 4, "in-process rank count")
+		transport  = flag.String("transport", "inproc", "inproc, tcp, or tcp-local (self-spawning local processes)")
+		rank       = flag.Int("rank", 0, "tcp: this process's rank")
+		hosts      = flag.String("hosts", "", "tcp: comma-separated host:port per rank")
+		variant    = flag.String("variant", "baseline", "baseline, tc, et, etc, ettc")
+		alpha      = flag.Float64("alpha", 0.25, "early-termination decay (et, etc, ettc)")
+		tau        = flag.Float64("tau", 0, "convergence threshold (default 1e-6)")
+		threads    = flag.Int("threads", 1, "worker threads per rank")
+		seed       = flag.Uint64("seed", 1, "early-termination seed")
+		pruned     = flag.Bool("pruned-ghosts", false, "legacy fixed-width changed-only ghost updates (superseded by -ghost-delta)")
+		ghostDelta = flag.Bool("ghost-delta", true, "delta-encoded ghost refresh with dense/sparse switching (false forces full snapshots)")
+		sparseThr  = flag.Float64("ghost-sparse-threshold", 0.25, "changed fraction above which a ghost delta frame falls back to a dense snapshot")
+		wireFmt    = flag.Int("wire-format", 0, "wire format to propose (0 = newest; 1 = fixed-width; world negotiates the minimum)")
+		edgeBal    = flag.Bool("edgebalance", false, "edge-balanced input partition instead of even vertex split")
+		neighbor   = flag.Bool("neighbor-coll", false, "use sparse neighborhood collectives for ghost exchange")
+		coloring   = flag.Bool("coloring", false, "sweep by distance-1 color classes (distributed Jones-Plassmann)")
+		outPath    = flag.String("o", "", "write detected communities (one label per line)")
+		truthPath  = flag.String("truth", "", "ground-truth file for quality scoring")
+		verbose    = flag.Bool("v", false, "per-phase progress output")
 
 		// Checkpoint/restart: with -ckpt-dir, every rank snapshots its
 		// state at phase boundaries; -resume continues from the latest
@@ -153,6 +156,11 @@ func main() {
 	cfg.Threads = *threads
 	cfg.Seed = *seed
 	cfg.SendChangedOnly = *pruned
+	if !*ghostDelta {
+		cfg.GhostRefresh = core.GhostDense
+	}
+	cfg.GhostSparseThreshold = *sparseThr
+	cfg.WireFormat = *wireFmt
 	cfg.UseNeighborCollectives = *neighbor
 	cfg.UseColoring = *coloring
 	cfg.GatherOutput = true

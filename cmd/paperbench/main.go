@@ -40,6 +40,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "bench: emit the report as JSON on stdout")
 		checkF   = flag.String("check", "", "bench: compare against a recorded baseline file; non-zero exit on deviation")
 		tol      = flag.Float64("tol", 0.005, "bench: allowed absolute modularity deviation for -check")
+		byteTol  = flag.Float64("byte-tol", 0.05, "bench: allowed relative p2p/collective payload growth for -check")
 		kernels  = flag.Bool("kernels", true, "bench: include isolated kernel measurements (slow; disable for CI smoke)")
 	)
 	flag.Parse()
@@ -144,8 +145,8 @@ func main() {
 			if *checkF != "" {
 				base, err := experiments.LoadBenchReport(*checkF)
 				check(err)
-				check(experiments.CompareBench(rep, base, *tol))
-				fmt.Fprintf(os.Stderr, "[bench check OK against %s, tol %g]\n", *checkF, *tol)
+				check(experiments.CompareBench(rep, base, *tol, *byteTol))
+				fmt.Fprintf(os.Stderr, "[bench check OK against %s, tol %g, byte-tol %g]\n", *checkF, *tol, *byteTol)
 			}
 			if *jsonOut {
 				enc := json.NewEncoder(os.Stdout)

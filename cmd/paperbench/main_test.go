@@ -62,7 +62,7 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := experiments.CompareBench(rep, base, 0); err != nil {
+	if err := experiments.CompareBench(rep, base, 0, 0); err != nil {
 		t.Fatalf("self-comparison at zero tolerance: %v", err)
 	}
 
@@ -70,9 +70,24 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	drifted := *rep
 	drifted.Workloads = append([]experiments.BenchWorkload(nil), rep.Workloads...)
 	drifted.Workloads[0].Modularity += 0.01
-	if err := experiments.CompareBench(&drifted, base, 0.005); err == nil {
+	if err := experiments.CompareBench(&drifted, base, 0.005, 0.05); err == nil {
 		t.Fatal("CompareBench accepted a 0.01 modularity drift at tol 0.005")
 	} else if !strings.Contains(err.Error(), "modularity") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+
+	// A payload regression beyond byte-tol must fail the gate too. The bench
+	// row must actually carry byte columns for the gate to bite.
+	if p2p, _ := experiments.SumWorkloadBytes(rep.Workloads[0]); p2p == 0 {
+		t.Fatal("bench row recorded zero p2p bytes; byte accounting broken")
+	}
+	bloated := *rep
+	bloated.Workloads = append([]experiments.BenchWorkload(nil), rep.Workloads...)
+	bloated.Workloads[0].Breakdown = append([]experiments.BenchPhase(nil), rep.Workloads[0].Breakdown...)
+	bloated.Workloads[0].Breakdown[0].P2PBytes *= 2
+	if err := experiments.CompareBench(&bloated, base, 0.005, 0.05); err == nil {
+		t.Fatal("CompareBench accepted a doubled p2p payload at byte-tol 0.05")
+	} else if !strings.Contains(err.Error(), "payload") {
 		t.Fatalf("unexpected gate error: %v", err)
 	}
 

@@ -271,10 +271,16 @@ func TestQTrajectoryRecorded(t *testing.T) {
 
 func TestSendChangedOnlySameResult(t *testing.T) {
 	// The pruned ghost protocol must be an exact optimization: identical
-	// assignment and modularity to the full push, variant by variant.
+	// assignment and modularity to the full push, variant by variant. Both
+	// sides pin GhostRefresh and wire v1 explicitly — the run defaults
+	// (GhostDelta, varint wire) undercut even the legacy pruned frames,
+	// which would invert the traffic assertion.
 	n, edges, _ := gen.PlantedPartition(6, 20, 0.5, 0.01, 55)
 	for _, base := range []Config{Baseline(), ET(0.5)} {
+		base.WireFormat = mpi.WireV1
+		base.GhostRefresh = GhostDense
 		pruned := base
+		pruned.GhostRefresh = GhostAuto
 		pruned.SendChangedOnly = true
 		a, err := RunOnEdges(3, n, edges, base)
 		if err != nil {

@@ -224,20 +224,22 @@ func (st *phaseState) sweepByClasses(classes [][]int64, iter int) []move {
 	return all
 }
 
-// applyMoves is step (iii)'s local half: update local assignments and
-// accumulate the (ΔA, Δsize) each source/destination community incurred
-// (line 9 of Algorithm 3); the deltas then flow to community owners.
+// stageMoves is step (iii)'s local preparation: accumulate the (ΔA, Δsize)
+// each source/destination community incurred (line 9 of Algorithm 3). It
+// deliberately does NOT touch st.comm — assignment updates happen inside
+// pushDeltas's compute/comm overlap window, after the delta frames are in
+// flight (sweepByClasses has already written st.comm for its classes; the
+// overlap window's re-assignment is idempotent there).
 //
 // Accumulation runs in move order (so each community's ΔA float sum is
 // bit-identical to the old map implementation), but the deltas are emitted
 // sorted by community ID: pushDeltas then applies and encodes them in an
 // order independent of hash layout, which keeps owner-side float
 // accumulation reproducible run-to-run (see commDelta).
-func (st *phaseState) applyMoves(moves []move) []commDelta {
+func (st *phaseState) stageMoves(moves []move) []commDelta {
 	tab := st.deltaTab
 	tab.Reset()
 	for _, mv := range moves {
-		st.comm[mv.lv] = mv.to
 		kv := st.dg.K[mv.lv]
 		tab.AddDelta(mv.from, -kv, -1)
 		tab.AddDelta(mv.to, kv, 1)
@@ -353,8 +355,7 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 		} else {
 			moves = st.sweep(stat.Iterations)
 		}
-		deltas := st.applyMoves(moves)
-		if err := st.pushDeltas(deltas); err != nil {
+		if err := st.pushDeltas(st.stageMoves(moves), moves); err != nil {
 			return stat, err
 		}
 		// (i') refresh ghost vertex communities with this iteration's moves.

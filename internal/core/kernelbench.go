@@ -54,7 +54,7 @@ func NewKernelBench(n int64, edges []graph.RawEdge, threads int, useRef bool) (*
 			return nil, fmt.Errorf("kernelbench warm-up: %w", err)
 		}
 		moves := st.sweep(it)
-		if err := st.pushDeltas(st.applyMoves(moves)); err != nil {
+		if err := st.pushDeltas(st.stageMoves(moves), moves); err != nil {
 			world.Close()
 			return nil, fmt.Errorf("kernelbench warm-up: %w", err)
 		}

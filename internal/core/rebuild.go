@@ -88,9 +88,16 @@ func (st *phaseState) rebuild(extraIDs []int64) (*dgraph.DistGraph, map[int64]in
 	for q := range reqByOwner {
 		sort.Slice(reqByOwner[q], func(i, j int) bool { return reqByOwner[q][i] < reqByOwner[q][j] })
 	}
+	// Both directions are ascending ID streams (requests are sorted above;
+	// survivor renumbering is order-preserving, so replies to a sorted
+	// request are ascending too): under wire v2 they ship as delta varints.
 	send := make([][]byte, p)
 	for q := 0; q < p; q++ {
-		send[q] = mpi.EncodeInt64s(reqByOwner[q])
+		if st.wireV2() {
+			send[q] = mpi.EncodeDeltaInt64s(reqByOwner[q])
+		} else {
+			send[q] = mpi.EncodeInt64s(reqByOwner[q])
+		}
 	}
 	reqs, err := c.Alltoall(send)
 	if err != nil {
@@ -98,7 +105,13 @@ func (st *phaseState) rebuild(extraIDs []int64) (*dgraph.DistGraph, map[int64]in
 	}
 	resp := make([][]byte, p)
 	for q := 0; q < p; q++ {
-		ids, err := mpi.DecodeInt64s(reqs[q])
+		var ids []int64
+		var err error
+		if st.wireV2() {
+			ids, err = mpi.DecodeDeltaInt64s(reqs[q])
+		} else {
+			ids, err = mpi.DecodeInt64s(reqs[q])
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -110,14 +123,24 @@ func (st *phaseState) rebuild(extraIDs []int64) (*dgraph.DistGraph, map[int64]in
 			}
 			out[i] = myBase + n
 		}
-		resp[q] = mpi.EncodeInt64s(out)
+		if st.wireV2() {
+			resp[q] = mpi.EncodeDeltaInt64s(out)
+		} else {
+			resp[q] = mpi.EncodeInt64s(out)
+		}
 	}
 	answers, err := c.Alltoall(resp)
 	if err != nil {
 		return nil, nil, err
 	}
 	for q := 0; q < p; q++ {
-		vals, err := mpi.DecodeInt64s(answers[q])
+		var vals []int64
+		var err error
+		if st.wireV2() {
+			vals, err = mpi.DecodeDeltaInt64s(answers[q])
+		} else {
+			vals, err = mpi.DecodeInt64s(answers[q])
+		}
 		if err != nil {
 			return nil, nil, err
 		}

@@ -46,6 +46,11 @@ type phaseState struct {
 	// neighborhood of the sparse collective); symmetric across ranks by
 	// graph symmetry.
 	ghostPeers []int
+	// ghostDenseFrames / ghostSparseFrames count the non-empty refresh
+	// frames this rank encoded in each direction of the GhostDelta
+	// dense/sparse switch (diagnostics and the switch tests).
+	ghostDenseFrames  int64
+	ghostSparseFrames int64
 
 	// remoteInfo caches (A_c, size) of non-owned communities for the
 	// current iteration.
@@ -78,7 +83,15 @@ type phaseState struct {
 // no-op on nil).
 func (st *phaseState) tr() *obsv.Tracer { return st.cfg.Tracer }
 
+// wireV2 reports whether the run negotiated the varint wire format.
+func (st *phaseState) wireV2() bool { return st.cfg.wire == mpi.WireV2 }
+
 func newPhaseState(dg *dgraph.DistGraph, cfg *Config, phaseIdx int, steps *StepTimes) (*phaseState, error) {
+	if cfg.wire == 0 {
+		// Single-rank harnesses (KernelBench, direct tests) construct phase
+		// state without runLoop's negotiation; the local proposal stands.
+		cfg.wire = cfg.proposeWire()
+	}
 	n := dg.LocalN
 	st := &phaseState{
 		dg: dg, cfg: cfg, phase: phaseIdx,
@@ -134,7 +147,13 @@ func (st *phaseState) setupGhostLists() error {
 		for i, slot := range st.ghostSlots[q] {
 			ids[i] = st.dg.Ghosts[slot]
 		}
-		send[q] = mpi.EncodeInt64s(ids)
+		if st.wireV2() {
+			// dg.Ghosts is sorted ascending, so these per-owner ID lists
+			// are too: the delta stream is ~1 byte per entry.
+			send[q] = mpi.EncodeDeltaInt64s(ids)
+		} else {
+			send[q] = mpi.EncodeInt64s(ids)
+		}
 	}
 	recv, err := c.Alltoall(send)
 	if err != nil {
@@ -143,7 +162,13 @@ func (st *phaseState) setupGhostLists() error {
 	st.pushList = make([][]int64, p)
 	st.lastSent = make([][]int64, p)
 	for q := 0; q < p; q++ {
-		ids, err := mpi.DecodeInt64s(recv[q])
+		var ids []int64
+		var err error
+		if st.wireV2() {
+			ids, err = mpi.DecodeDeltaInt64s(recv[q])
+		} else {
+			ids, err = mpi.DecodeInt64s(recv[q])
+		}
 		if err != nil {
 			return err
 		}
@@ -165,18 +190,31 @@ func (st *phaseState) setupGhostLists() error {
 	return nil
 }
 
+// Ghost refresh frame markers (first byte of a GhostDelta-mode frame).
+const (
+	ghostFrameDense  = 0 // full snapshot follows, one community per push-list entry
+	ghostFrameSparse = 1 // changed subset follows: positions + communities
+)
+
 // exchangeGhostComm is step (i) of Algorithm 3: owners push the latest
-// community assignment of every vertex some rank holds as a ghost. With
-// SendChangedOnly, only entries that changed since the last send travel
-// (the §IV-B "further sophistication": inactive vertices stop generating
-// traffic). With UseNeighborCollectives, the exchange runs over the sparse
-// ghost-neighbour topology instead of the dense all-to-all.
+// community assignment of every vertex some rank holds as a ghost.
+//
+// Under GhostDelta (the default), each peer frame carries only the entries
+// whose community changed since the last send to that peer, switching
+// ligra-style to the full snapshot when the changed fraction exceeds
+// GhostSparseThreshold — early iterations (everything moves) pay dense
+// prices once, converged tails pay per-change. The legacy SendChangedOnly
+// flag selects the original fixed-width changed-pairs frames; GhostDense
+// restores the paper's always-snapshot wire. With UseNeighborCollectives,
+// the exchange runs over the sparse ghost-neighbour topology instead of the
+// dense all-to-all. Every mode reconstructs the identical ghost table.
 func (st *phaseState) exchangeGhostComm() error {
 	sp := st.tr().Begin(obsv.KindP2P, "ghost-exchange")
 	defer sp.End()
 	t0 := time.Now()
 	defer func() { st.steps.GhostComm += time.Since(t0) }()
 	c := st.dg.Comm
+	mode := st.cfg.ghostMode()
 
 	// Encode buffers come from the per-phase arena: after the first
 	// iteration their capacities stabilize and this fast path allocates
@@ -186,7 +224,8 @@ func (st *phaseState) exchangeGhostComm() error {
 	encodeFor := func(q int) []byte {
 		bp := st.arena.Grab()
 		buf := *bp
-		if st.cfg.SendChangedOnly {
+		switch mode {
+		case ghostLegacy:
 			for i, lv := range st.pushList[q] {
 				if v := st.comm[lv]; v != st.lastSent[q][i] {
 					buf = mpi.AppendInt64(buf, int64(i))
@@ -194,20 +233,29 @@ func (st *phaseState) exchangeGhostComm() error {
 					st.lastSent[q][i] = v
 				}
 			}
-		} else {
-			for _, lv := range st.pushList[q] {
-				buf = mpi.AppendInt64(buf, st.comm[lv])
+		case GhostDelta:
+			buf = st.encodeGhostDelta(buf, q)
+		default: // GhostDense
+			if st.wireV2() {
+				for _, lv := range st.pushList[q] {
+					buf = mpi.AppendVarint(buf, st.comm[lv])
+				}
+			} else {
+				for _, lv := range st.pushList[q] {
+					buf = mpi.AppendInt64(buf, st.comm[lv])
+				}
 			}
 		}
 		*bp = buf
 		return buf
 	}
 	decodeFrom := func(q int, data []byte) error {
-		vals, err := mpi.DecodeInt64s(data)
-		if err != nil {
-			return err
-		}
-		if st.cfg.SendChangedOnly {
+		switch mode {
+		case ghostLegacy:
+			vals, err := mpi.DecodeInt64s(data)
+			if err != nil {
+				return err
+			}
 			if len(vals)%2 != 0 {
 				return fmt.Errorf("core: odd changed-only payload from rank %d", q)
 			}
@@ -219,6 +267,27 @@ func (st *phaseState) exchangeGhostComm() error {
 				st.ghostComm[st.ghostSlots[q][pos]] = vals[i+1]
 			}
 			return nil
+		case GhostDelta:
+			return st.decodeGhostDelta(q, data)
+		}
+		// GhostDense.
+		if st.wireV2() {
+			d := mpi.NewDecoder(data)
+			for _, slot := range st.ghostSlots[q] {
+				v, err := d.Varint()
+				if err != nil {
+					return fmt.Errorf("core: ghost reply from rank %d: %w", q, err)
+				}
+				st.ghostComm[slot] = v
+			}
+			if d.Remaining() != 0 {
+				return fmt.Errorf("core: ghost reply from rank %d has %d trailing bytes", q, d.Remaining())
+			}
+			return nil
+		}
+		vals, err := mpi.DecodeInt64s(data)
+		if err != nil {
+			return err
 		}
 		if len(vals) != len(st.ghostSlots[q]) {
 			return fmt.Errorf("core: ghost reply from rank %d has %d entries, want %d", q, len(vals), len(st.ghostSlots[q]))
@@ -261,6 +330,150 @@ func (st *phaseState) exchangeGhostComm() error {
 		}
 	}
 	return nil
+}
+
+// encodeGhostDelta appends one GhostDelta refresh frame for peer q: a mode
+// byte, then either the full snapshot (dense fallback) or the changed subset
+// as (position, community) entries. The changed fraction against
+// GhostSparseThreshold picks the representation per peer per iteration, so a
+// rank whose frontier collapsed ships tiny sparse frames while a still-hot
+// peer frame stays dense. lastSent is updated under both representations —
+// the sparse test of the next iteration is always against what the peer
+// actually holds.
+func (st *phaseState) encodeGhostDelta(buf []byte, q int) []byte {
+	push := st.pushList[q]
+	if len(push) == 0 {
+		return buf // nothing this peer wants; frame stays empty
+	}
+	last := st.lastSent[q]
+	changed := 0
+	for i, lv := range push {
+		if st.comm[lv] != last[i] {
+			changed++
+		}
+	}
+	if float64(changed) > st.cfg.GhostSparseThreshold*float64(len(push)) {
+		st.ghostDenseFrames++
+		buf = append(buf, ghostFrameDense)
+		if st.wireV2() {
+			for i, lv := range push {
+				v := st.comm[lv]
+				buf = mpi.AppendVarint(buf, v)
+				last[i] = v
+			}
+		} else {
+			for i, lv := range push {
+				v := st.comm[lv]
+				buf = mpi.AppendInt64(buf, v)
+				last[i] = v
+			}
+		}
+		return buf
+	}
+	st.ghostSparseFrames++
+	buf = append(buf, ghostFrameSparse)
+	if st.wireV2() {
+		// Positions are strictly increasing, so they travel as uvarint gaps;
+		// communities as zigzag varints.
+		buf = mpi.AppendUvarint(buf, uint64(changed))
+		prev := int64(0)
+		for i, lv := range push {
+			if v := st.comm[lv]; v != last[i] {
+				buf = mpi.AppendUvarint(buf, uint64(int64(i)-prev))
+				buf = mpi.AppendVarint(buf, v)
+				prev = int64(i)
+				last[i] = v
+			}
+		}
+	} else {
+		for i, lv := range push {
+			if v := st.comm[lv]; v != last[i] {
+				buf = mpi.AppendInt64(buf, int64(i))
+				buf = mpi.AppendInt64(buf, v)
+				last[i] = v
+			}
+		}
+	}
+	return buf
+}
+
+// decodeGhostDelta applies one GhostDelta refresh frame from peer q.
+func (st *phaseState) decodeGhostDelta(q int, data []byte) error {
+	slots := st.ghostSlots[q]
+	if len(data) == 0 {
+		if len(slots) != 0 {
+			return fmt.Errorf("core: empty ghost frame from rank %d, want %d entries", q, len(slots))
+		}
+		return nil
+	}
+	d := mpi.NewDecoder(data[1:])
+	switch data[0] {
+	case ghostFrameDense:
+		if st.wireV2() {
+			for _, slot := range slots {
+				v, err := d.Varint()
+				if err != nil {
+					return fmt.Errorf("core: dense ghost frame from rank %d: %w", q, err)
+				}
+				st.ghostComm[slot] = v
+			}
+		} else {
+			vals, err := d.Int64s(len(slots))
+			if err != nil {
+				return fmt.Errorf("core: dense ghost frame from rank %d: %w", q, err)
+			}
+			for i, v := range vals {
+				st.ghostComm[slots[i]] = v
+			}
+		}
+		if d.Remaining() != 0 {
+			return fmt.Errorf("core: dense ghost frame from rank %d has %d trailing bytes", q, d.Remaining())
+		}
+		return nil
+	case ghostFrameSparse:
+		if st.wireV2() {
+			n, err := d.Uvarint()
+			if err != nil {
+				return fmt.Errorf("core: sparse ghost frame from rank %d: %w", q, err)
+			}
+			pos := int64(0)
+			for k := uint64(0); k < n; k++ {
+				gap, err := d.Uvarint()
+				if err != nil {
+					return fmt.Errorf("core: sparse ghost frame from rank %d: %w", q, err)
+				}
+				pos += int64(gap)
+				v, err := d.Varint()
+				if err != nil {
+					return fmt.Errorf("core: sparse ghost frame from rank %d: %w", q, err)
+				}
+				if pos < 0 || pos >= int64(len(slots)) {
+					return fmt.Errorf("core: ghost position %d out of range from rank %d", pos, q)
+				}
+				st.ghostComm[slots[pos]] = v
+			}
+			if d.Remaining() != 0 {
+				return fmt.Errorf("core: sparse ghost frame from rank %d has %d trailing bytes", q, d.Remaining())
+			}
+			return nil
+		}
+		if d.Remaining()%16 != 0 {
+			return fmt.Errorf("core: odd sparse ghost payload from rank %d", q)
+		}
+		for d.Remaining() >= 16 {
+			pos, _ := d.Int64()
+			v, err := d.Int64()
+			if err != nil {
+				return err
+			}
+			if pos < 0 || pos >= int64(len(slots)) {
+				return fmt.Errorf("core: ghost position %d out of range from rank %d", pos, q)
+			}
+			st.ghostComm[slots[pos]] = v
+		}
+		return nil
+	}
+	return fmt.Errorf("core: unknown ghost frame mode %d from rank %d", data[0], q)
 }
 
 // commOf resolves the community of a global vertex from local state (owned)
@@ -325,17 +538,31 @@ func (st *phaseState) fetchCommunityInfo() error {
 	send := make([][]byte, p)
 	for q := 0; q < p; q++ {
 		bp := st.arena.Grab()
-		*bp = mpi.AppendInt64s(*bp, reqByOwner[q])
+		if st.wireV2() {
+			// reqByOwner[q] is sorted, so the request travels as ~1-byte
+			// varint gaps instead of 8-byte IDs.
+			*bp = mpi.AppendDeltaInt64s(*bp, reqByOwner[q])
+		} else {
+			*bp = mpi.AppendInt64s(*bp, reqByOwner[q])
+		}
 		send[q] = *bp
 	}
 	reqs, err := c.Alltoall(send)
 	if err != nil {
 		return fmt.Errorf("core: community-info request: %w", err)
 	}
-	// Answer requests: (A_c, size) per cid, in request order.
+	// Answer requests: (A_c, size) per cid, in request order. A_c stays
+	// fixed64 under both wire formats; member counts are small, so v2 packs
+	// them as varints.
 	resp := make([][]byte, p)
 	for q := 0; q < p; q++ {
-		ids, err := mpi.DecodeInt64s(reqs[q])
+		var ids []int64
+		var err error
+		if st.wireV2() {
+			ids, err = mpi.DecodeDeltaInt64s(reqs[q])
+		} else {
+			ids, err = mpi.DecodeInt64s(reqs[q])
+		}
 		if err != nil {
 			return err
 		}
@@ -347,7 +574,11 @@ func (st *phaseState) fetchCommunityInfo() error {
 			}
 			lc := cid - st.dg.Base
 			buf = mpi.AppendFloat64(buf, st.cA[lc])
-			buf = mpi.AppendInt64(buf, st.cSize[lc])
+			if st.wireV2() {
+				buf = mpi.AppendVarint(buf, st.cSize[lc])
+			} else {
+				buf = mpi.AppendInt64(buf, st.cSize[lc])
+			}
 		}
 		*bp = buf
 		resp[q] = buf
@@ -364,7 +595,12 @@ func (st *phaseState) fetchCommunityInfo() error {
 			if err != nil {
 				return err
 			}
-			size, err := d.Int64()
+			var size int64
+			if st.wireV2() {
+				size, err = d.Varint()
+			} else {
+				size, err = d.Int64()
+			}
 			if err != nil {
 				return err
 			}
@@ -396,9 +632,18 @@ func (st *phaseState) resolveVertexComms(ids []int64) (map[int64]int64, error) {
 		o := st.dg.Part.Owner(g)
 		reqByOwner[o] = append(reqByOwner[o], g)
 	}
+	// Replies are matched back through reqByOwner, so the request order is
+	// free to choose: sort it so v2's delta streams stay compact.
+	for q := range reqByOwner {
+		sort.Slice(reqByOwner[q], func(i, j int) bool { return reqByOwner[q][i] < reqByOwner[q][j] })
+	}
 	send := make([][]byte, p)
 	for q := 0; q < p; q++ {
-		send[q] = mpi.EncodeInt64s(reqByOwner[q])
+		if st.wireV2() {
+			send[q] = mpi.EncodeDeltaInt64s(reqByOwner[q])
+		} else {
+			send[q] = mpi.EncodeInt64s(reqByOwner[q])
+		}
 	}
 	reqs, err := c.Alltoall(send)
 	if err != nil {
@@ -406,33 +651,50 @@ func (st *phaseState) resolveVertexComms(ids []int64) (map[int64]int64, error) {
 	}
 	resp := make([][]byte, p)
 	for q := 0; q < p; q++ {
-		vs, err := mpi.DecodeInt64s(reqs[q])
+		var vs []int64
+		var err error
+		if st.wireV2() {
+			vs, err = mpi.DecodeDeltaInt64s(reqs[q])
+		} else {
+			vs, err = mpi.DecodeInt64s(reqs[q])
+		}
 		if err != nil {
 			return nil, err
 		}
-		ans := make([]int64, len(vs))
-		for i, g := range vs {
+		buf := make([]byte, 0, 8*len(vs))
+		for _, g := range vs {
 			if !st.dg.IsLocal(g) {
 				return nil, fmt.Errorf("core: rank %d asked rank %d for comm of non-owned vertex %d", q, c.Rank(), g)
 			}
-			ans[i] = st.comm[g-st.dg.Base]
+			if st.wireV2() {
+				buf = mpi.AppendVarint(buf, st.comm[g-st.dg.Base])
+			} else {
+				buf = mpi.AppendInt64(buf, st.comm[g-st.dg.Base])
+			}
 		}
-		resp[q] = mpi.EncodeInt64s(ans)
+		resp[q] = buf
 	}
 	answers, err := c.Alltoall(resp)
 	if err != nil {
 		return nil, err
 	}
 	for q := 0; q < p; q++ {
-		vals, err := mpi.DecodeInt64s(answers[q])
-		if err != nil {
-			return nil, err
+		d := mpi.NewDecoder(answers[q])
+		for _, g := range reqByOwner[q] {
+			var v int64
+			var err error
+			if st.wireV2() {
+				v, err = d.Varint()
+			} else {
+				v, err = d.Int64()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: comm-lookup reply from rank %d: %w", q, err)
+			}
+			out[g] = v
 		}
-		if len(vals) != len(reqByOwner[q]) {
-			return nil, fmt.Errorf("core: comm-lookup reply from rank %d has %d entries, want %d", q, len(vals), len(reqByOwner[q]))
-		}
-		for i, g := range reqByOwner[q] {
-			out[g] = vals[i]
+		if d.Remaining() != 0 {
+			return nil, fmt.Errorf("core: comm-lookup reply from rank %d has %d trailing bytes", q, d.Remaining())
 		}
 	}
 	return out, nil
@@ -445,7 +707,7 @@ type delta struct {
 }
 
 // commDelta is one community's (ΔA, Δsize) of an iteration, tagged with its
-// ID. applyMoves emits these sorted by cid, which fixes the apply and
+// ID. stageMoves emits these sorted by cid, which fixes the apply and
 // encode order — a Go map here would randomize the order deltas reach
 // owners and the byte layout of every delta message run-to-run.
 type commDelta struct {
@@ -456,12 +718,21 @@ type commDelta struct {
 
 // pushDeltas is step (iii) of Algorithm 3: updated information on ghost
 // communities travels to their owners; owners fold in the deltas for their
-// local communities. deltas must be sorted by community ID (applyMoves
+// local communities. deltas must be sorted by community ID (stageMoves
 // guarantees it), so both the local applies and every rank's wire payload
 // are in canonical ascending-cid order: community-owner float accumulation
 // happens in the same order every run, giving float-weighted graphs the
 // same bit-identical trajectory guarantee integer weights get for free.
-func (st *phaseState) pushDeltas(deltas []commDelta) error {
+//
+// The exchange is split-phase: the remote frames are encoded and launched
+// first (IalltoallStart), then the iteration's tail work — writing the
+// sweep's assignment updates and folding the locally-owned deltas — runs
+// while peers' frames are in flight, and only then does the rank block on
+// Wait. The arena buffers handed to the started exchange are pinned so the
+// overlap window cannot recycle them. Accumulation order is unchanged from
+// the blocking version (locals in ascending cid order, then remote folds in
+// rank order), preserving the bit-identical trajectory guarantee.
+func (st *phaseState) pushDeltas(deltas []commDelta, moves []move) error {
 	sp := st.tr().Begin(obsv.KindP2P, "community-push")
 	defer sp.End()
 	t0 := time.Now()
@@ -471,30 +742,82 @@ func (st *phaseState) pushDeltas(deltas []commDelta) error {
 	st.arena.Reset()
 	send := make([][]byte, p)
 	bufs := make([]*[]byte, p)
+	// v2 entries: varint cid gap from the previous entry to the same owner
+	// (ascending across the frame), fixed64 ΔA, varint Δsize.
+	prevCid := make([]int64, p)
 	for _, d := range deltas {
 		if st.dg.IsLocal(d.cid) {
-			st.applyDelta(d.cid, delta{a: d.a, size: d.size})
-			continue
+			continue // folded in the overlap window below
 		}
 		o := st.dg.Part.Owner(d.cid)
 		if bufs[o] == nil {
 			bufs[o] = st.arena.Grab()
 		}
-		*bufs[o] = mpi.AppendInt64(*bufs[o], d.cid)
-		*bufs[o] = mpi.AppendFloat64(*bufs[o], d.a)
-		*bufs[o] = mpi.AppendInt64(*bufs[o], d.size)
+		if st.wireV2() {
+			*bufs[o] = mpi.AppendVarint(*bufs[o], d.cid-prevCid[o])
+			*bufs[o] = mpi.AppendFloat64(*bufs[o], d.a)
+			*bufs[o] = mpi.AppendVarint(*bufs[o], d.size)
+			prevCid[o] = d.cid
+		} else {
+			*bufs[o] = mpi.AppendInt64(*bufs[o], d.cid)
+			*bufs[o] = mpi.AppendFloat64(*bufs[o], d.a)
+			*bufs[o] = mpi.AppendInt64(*bufs[o], d.size)
+		}
 	}
 	for o, bp := range bufs {
 		if bp != nil {
 			send[o] = *bp
 		}
 	}
-	recv, err := c.Alltoall(send)
+	op, err := c.IalltoallStart(send)
+	if err != nil {
+		return fmt.Errorf("core: community delta push: %w", err)
+	}
+	st.arena.Pin()
+	defer st.arena.Unpin()
+
+	// Overlap window: peers' frames are in flight; do the iteration's local
+	// tail work. (Under coloring, sweepByClasses already wrote st.comm; the
+	// re-assignment is idempotent.)
+	for _, mv := range moves {
+		st.comm[mv.lv] = mv.to
+	}
+	for _, d := range deltas {
+		if st.dg.IsLocal(d.cid) {
+			st.applyDelta(d.cid, delta{a: d.a, size: d.size})
+		}
+	}
+
+	recv, err := op.Wait()
 	if err != nil {
 		return fmt.Errorf("core: community delta push: %w", err)
 	}
 	for q := 0; q < p; q++ {
 		d := mpi.NewDecoder(recv[q])
+		if st.wireV2() {
+			prev := int64(0)
+			for d.Remaining() > 0 {
+				gap, err := d.Varint()
+				if err != nil {
+					return fmt.Errorf("core: delta frame from rank %d: %w", q, err)
+				}
+				cid := prev + gap
+				prev = cid
+				da, err := d.Float64()
+				if err != nil {
+					return fmt.Errorf("core: delta frame from rank %d: %w", q, err)
+				}
+				dsize, err := d.Varint()
+				if err != nil {
+					return fmt.Errorf("core: delta frame from rank %d: %w", q, err)
+				}
+				if !st.dg.IsLocal(cid) {
+					return fmt.Errorf("core: delta for non-owned community %d from rank %d", cid, q)
+				}
+				st.applyDelta(cid, delta{a: da, size: dsize})
+			}
+			continue
+		}
 		for d.Remaining() >= 24 {
 			cid, _ := d.Int64()
 			da, _ := d.Float64()

@@ -20,10 +20,13 @@ import (
 // BenchSchemaVersion identifies the BENCH_paperbench.json layout. Bump it
 // when a field changes meaning; CompareBench refuses mismatched versions so
 // a stale baseline fails loudly instead of comparing wrong columns.
-const BenchSchemaVersion = 1
+const BenchSchemaVersion = 2
 
 // BenchPhase is one phase row of a workload's rank-0 timing breakdown
-// (obsv.BuildReport categories, §V-A).
+// (obsv.BuildReport categories, §V-A). The byte columns (schema v2) are the
+// per-category payload volumes of the same report: unlike the millisecond
+// columns they are deterministic, so CompareBench gates on them — a protocol
+// change that regrows the wire shows up as a byte regression in CI.
 type BenchPhase struct {
 	Phase        int     `json:"phase"`
 	Iterations   int     `json:"iterations"`
@@ -32,6 +35,8 @@ type BenchPhase struct {
 	P2PMS        float64 `json:"p2p_ms"`
 	CollectiveMS float64 `json:"collective_ms"`
 	CoarsenMS    float64 `json:"coarsen_ms"`
+	P2PBytes     int64   `json:"p2p_bytes"`
+	CollBytes    int64   `json:"coll_bytes"`
 }
 
 // BenchWorkload records one full distributed run of a testbed graph.
@@ -71,13 +76,13 @@ type BenchReport struct {
 }
 
 // benchTracedRun is distRun with a tracer per rank; it returns rank 0's
-// result, rank 0's timing report and the wall time.
-func benchTracedRun(p, threads int, w Workload) (*core.Result, *obsv.Report, time.Duration, error) {
+// result, rank 0's timing report and the wall time. cfg selects the variant
+// (Bench uses the baseline; the wire-diet tests pass pinned configs).
+func benchTracedRun(p, threads int, w Workload, cfg core.Config) (*core.Result, *obsv.Report, time.Duration, error) {
 	tracers := make([]*obsv.Tracer, p)
 	for r := range tracers {
 		tracers[r] = obsv.NewTracer(r, obsv.DefaultCapacity)
 	}
-	cfg := core.Baseline()
 	cfg.Threads = threads
 	var root *core.Result
 	start := time.Now()
@@ -119,7 +124,7 @@ func Bench(s Scale, p, threads int, ws []Workload, kernels bool) (*BenchReport, 
 	}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	for _, w := range ws {
-		res, timing, wall, err := benchTracedRun(p, threads, w)
+		res, timing, wall, err := benchTracedRun(p, threads, w, core.Baseline())
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %w", w.Name, err)
 		}
@@ -143,6 +148,8 @@ func Bench(s Scale, p, threads int, ws []Workload, kernels bool) (*BenchReport, 
 				P2PMS:        ms(pb.Cat[obsv.CatP2P]),
 				CollectiveMS: ms(pb.Cat[obsv.CatCollective]),
 				CoarsenMS:    ms(pb.Cat[obsv.CatCoarsen]),
+				P2PBytes:     pb.Bytes[obsv.CatP2P],
+				CollBytes:    pb.Bytes[obsv.CatCollective],
 			})
 		}
 		rep.Workloads = append(rep.Workloads, bw)
@@ -229,9 +236,14 @@ func LoadBenchReport(path string) (*BenchReport, error) {
 
 // CompareBench gates a fresh report against a recorded baseline: same
 // schema, every baseline workload present with matching shape (ranks,
-// threads, input size) and modularity within tol. Timing fields are
+// threads, input size), modularity within tol, and per-workload p2p /
+// collective payload bytes within byteTol (relative growth) of the
+// baseline. Byte counts are deterministic for a fixed protocol, so byteTol
+// needs only enough slack for benign drift (an extra iteration's worth on
+// a borderline workload); a workload whose baseline recorded zero bytes in
+// a direction is not gated in that direction. Timing fields are
 // deliberately not compared — they describe the recording machine.
-func CompareBench(cur, base *BenchReport, tol float64) error {
+func CompareBench(cur, base *BenchReport, tol, byteTol float64) error {
 	if cur.SchemaVersion != base.SchemaVersion {
 		return fmt.Errorf("bench schema version %d, baseline has %d (re-record the baseline)", cur.SchemaVersion, base.SchemaVersion)
 	}
@@ -262,8 +274,33 @@ func CompareBench(cur, base *BenchReport, tol float64) error {
 			return fmt.Errorf("bench %s modularity %.6f deviates from baseline %.6f by %.6f (tol %.6f)",
 				want.Graph, got.Modularity, want.Modularity, d, tol)
 		}
+		gotP2P, gotColl := sumBytes(got.Breakdown)
+		wantP2P, wantColl := sumBytes(want.Breakdown)
+		if wantP2P > 0 && float64(gotP2P) > float64(wantP2P)*(1+byteTol) {
+			return fmt.Errorf("bench %s p2p payload %dB exceeds baseline %dB by more than %.1f%% (wire regression)",
+				want.Graph, gotP2P, wantP2P, 100*byteTol)
+		}
+		if wantColl > 0 && float64(gotColl) > float64(wantColl)*(1+byteTol) {
+			return fmt.Errorf("bench %s collective payload %dB exceeds baseline %dB by more than %.1f%% (wire regression)",
+				want.Graph, gotColl, wantColl, 100*byteTol)
+		}
 	}
 	return nil
+}
+
+// sumBytes totals a workload's per-phase payload columns.
+func sumBytes(phases []BenchPhase) (p2p, coll int64) {
+	for _, pb := range phases {
+		p2p += pb.P2PBytes
+		coll += pb.CollBytes
+	}
+	return
+}
+
+// SumWorkloadBytes totals one workload's p2p and collective payload columns
+// (the quantities CompareBench gates on).
+func SumWorkloadBytes(w BenchWorkload) (p2p, coll int64) {
+	return sumBytes(w.Breakdown)
 }
 
 // BenchTable renders the report for human consumption (the non-JSON mode of

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"distlouvain/internal/core"
+	"distlouvain/internal/mpi"
+	"distlouvain/internal/obsv"
+)
+
+// TestWireDietByteReduction pins the communication-diet headline: on a mesh
+// workload the default protocol stack (varint wire v2 + delta ghost refresh)
+// must move at least 40% fewer p2p payload bytes than the original protocol
+// (fixed-width wire v1, full ghost snapshots every iteration) — while
+// producing the bit-identical result. The reduction figure is deterministic:
+// both runs follow the same trajectory, so the byte counts depend only on
+// the protocol, never on timing.
+func TestWireDietByteReduction(t *testing.T) {
+	ws := TestGraphs(Small)
+	for _, name := range []string{"mesh-channel", "mesh-nlpkkt"} {
+		w, err := FindGraph(ws, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy := core.Baseline()
+		legacy.WireFormat = mpi.WireV1
+		legacy.GhostRefresh = core.GhostDense
+		resOld, repOld, _, err := benchTracedRun(4, 1, w, legacy)
+		if err != nil {
+			t.Fatalf("%s legacy run: %v", name, err)
+		}
+		resNew, repNew, _, err := benchTracedRun(4, 1, w, core.Baseline())
+		if err != nil {
+			t.Fatalf("%s default run: %v", name, err)
+		}
+
+		// The diet must not touch the answer.
+		if resNew.Modularity != resOld.Modularity {
+			t.Fatalf("%s: modularity %v vs %v (diet changed the trajectory)",
+				name, resNew.Modularity, resOld.Modularity)
+		}
+		if len(resNew.LocalComm) != len(resOld.LocalComm) {
+			t.Fatalf("%s: assignment length diverged", name)
+		}
+		for i := range resNew.LocalComm {
+			if resNew.LocalComm[i] != resOld.LocalComm[i] {
+				t.Fatalf("%s: assignment differs at local vertex %d", name, i)
+			}
+		}
+
+		oldP2P := repOld.Overall.Bytes[obsv.CatP2P]
+		newP2P := repNew.Overall.Bytes[obsv.CatP2P]
+		if oldP2P <= 0 || newP2P <= 0 {
+			t.Fatalf("%s: degenerate byte accounting: old %d, new %d", name, oldP2P, newP2P)
+		}
+		reduction := 1 - float64(newP2P)/float64(oldP2P)
+		t.Logf("%s: p2p payload %d -> %d bytes (%.1f%% reduction)", name, oldP2P, newP2P, 100*reduction)
+		if reduction < 0.40 {
+			t.Fatalf("%s: p2p payload reduction %.1f%% below the 40%% target (%d -> %d bytes)",
+				name, 100*reduction, oldP2P, newP2P)
+		}
+	}
+}

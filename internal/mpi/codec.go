@@ -7,8 +7,24 @@ import (
 )
 
 // The codec helpers serialize the numeric slices the Louvain protocol
-// exchanges. Everything is little-endian and fixed-width, like the binary
-// graph format, so a TCP world can mix machines without byte-order trouble.
+// exchanges. The v1 helpers are little-endian and fixed-width, like the
+// binary graph format, so a TCP world can mix machines without byte-order
+// trouble. The v2 helpers add LEB128 varints with zigzag signing for IDs and
+// counts — vertex and community IDs are small relative to 8 bytes, and the
+// protocols' canonically sorted ID streams delta-encode into 1–2 byte gaps.
+// Float weights stay fixed64 under both versions: varints cannot shorten
+// them and bit-exactness is non-negotiable.
+
+// Wire format versions a world can negotiate. Every frame-producing protocol
+// step encodes according to the version all ranks agreed on, so a mixed
+// deployment degrades to the highest version every rank supports.
+const (
+	// WireV1 is the original fixed-width little-endian layout.
+	WireV1 = 1
+	// WireV2 packs IDs and counts as zigzag+LEB128 varints and sorted ID
+	// streams as delta-encoded varint gaps; floats remain fixed64.
+	WireV2 = 2
+)
 
 // AppendUint64 appends v to buf.
 func AppendUint64(buf []byte, v uint64) []byte {
@@ -37,6 +53,36 @@ func AppendInt64s(buf []byte, vs []int64) []byte {
 func AppendFloat64s(buf []byte, vs []float64) []byte {
 	for _, v := range vs {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// AppendUvarint appends v in LEB128: 7 value bits per byte, high bit set on
+// every byte but the last.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// AppendVarint appends v zigzag-mapped to a uvarint, so small negative
+// values stay short (−1 → 1 byte, not 10).
+func AppendVarint(buf []byte, v int64) []byte {
+	return binary.AppendUvarint(buf, zigzag(v))
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendDeltaInt64s appends vs as a self-delimiting varint stream: a uvarint
+// count, the first value as a zigzag varint, then each successive value as
+// the zigzag varint of its gap to the predecessor. Sorted ID streams (ghost
+// lists, community-info requests) collapse to ~1 byte per entry; unsorted
+// input round-trips too, just less compactly.
+func AppendDeltaInt64s(buf []byte, vs []int64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(vs)))
+	prev := int64(0)
+	for _, v := range vs {
+		buf = binary.AppendUvarint(buf, zigzag(v-prev))
+		prev = v
 	}
 	return buf
 }
@@ -83,6 +129,46 @@ func (d *Decoder) Float64() (float64, error) {
 	return math.Float64frombits(v), err
 }
 
+// Uvarint decodes one LEB128 value.
+func (d *Decoder) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("mpi: truncated or overlong uvarint at offset %d of %d-byte buffer", d.off, len(d.buf))
+	}
+	d.off += n
+	return v, nil
+}
+
+// Varint decodes one zigzag varint.
+func (d *Decoder) Varint() (int64, error) {
+	v, err := d.Uvarint()
+	return unzigzag(v), err
+}
+
+// DeltaInt64s decodes a stream written by AppendDeltaInt64s.
+func (d *Decoder) DeltaInt64s() ([]int64, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every entry costs at least one byte, so a count beyond the remaining
+	// bytes is corrupt; reject it before allocating (fuzz robustness).
+	if n > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("mpi: delta stream claims %d entries with %d bytes left", n, d.Remaining())
+	}
+	out := make([]int64, n)
+	prev := int64(0)
+	for i := range out {
+		gap, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		prev += gap
+		out[i] = prev
+	}
+	return out, nil
+}
+
 // Int64s decodes n values.
 func (d *Decoder) Int64s(n int) ([]int64, error) {
 	if err := d.need(8 * n); err != nil {
@@ -125,14 +211,24 @@ func (d *Decoder) Float64s(n int) ([]float64, error) {
 // An Arena is not safe for concurrent use; keep one per rank (the encode
 // loops are single-threaded driver code).
 type Arena struct {
-	bufs [][]byte
-	next int
+	bufs   [][]byte
+	next   int
+	pinned int
 }
 
-// Reset makes every grabbed buffer available again. Buffers handed out
-// before Reset must not be written afterwards — their storage will be
-// reissued.
-func (a *Arena) Reset() { a.next = 0 }
+// Reset makes every grabbed buffer above the pin watermark available again.
+// Buffers handed out before Reset must not be written afterwards — their
+// storage will be reissued.
+func (a *Arena) Reset() { a.next = a.pinned }
+
+// Pin marks every currently grabbed buffer as in flight: Reset will not
+// recycle them until Unpin. The split-phase collectives use this so encode
+// buffers handed to a started-but-unwaited exchange survive any arena use in
+// the compute that overlaps it.
+func (a *Arena) Pin() { a.pinned = a.next }
+
+// Unpin releases the in-flight buffers; the next Reset recycles everything.
+func (a *Arena) Unpin() { a.pinned = 0 }
 
 // Grab returns a pointer to a zero-length buffer slot. Append through the
 // pointer (*bp = AppendInt64(*bp, v)) so capacity growth is retained for
@@ -158,6 +254,25 @@ func DecodeInt64s(buf []byte) ([]int64, error) {
 		return nil, fmt.Errorf("mpi: int64 buffer length %d not a multiple of 8", len(buf))
 	}
 	return NewDecoder(buf).Int64s(len(buf) / 8)
+}
+
+// EncodeDeltaInt64s serializes vs as a delta varint stream into a fresh
+// buffer.
+func EncodeDeltaInt64s(vs []int64) []byte {
+	return AppendDeltaInt64s(make([]byte, 0, 1+2*len(vs)), vs)
+}
+
+// DecodeDeltaInt64s deserializes a buffer holding exactly one delta stream.
+func DecodeDeltaInt64s(buf []byte) ([]int64, error) {
+	d := NewDecoder(buf)
+	vs, err := d.DeltaInt64s()
+	if err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("mpi: %d trailing bytes after delta stream", d.Remaining())
+	}
+	return vs, nil
 }
 
 // EncodeFloat64s serializes vs into a fresh buffer.

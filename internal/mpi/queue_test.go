@@ -227,4 +227,3 @@ func TestWriterEnqueueFailsFastAfterDeath(t *testing.T) {
 		t.Fatal("enqueue blocked on dead writer")
 	}
 }
-

@@ -79,6 +79,13 @@ type PhaseBreakdown struct {
 	Iterations int
 	Total      time.Duration // wall time of the phase span
 	Cat        [numCategories]time.Duration
+	// Bytes is the payload volume the row's spans reported via SetBytes,
+	// bucketed like the time columns: traffic of a collective nested inside
+	// a composite step (the alltoalls of "community-fetch", the collectives
+	// of "rebuild") counts toward the composite's category, so the p2p
+	// column is the §V-A "communication within a phase" payload and the
+	// collective column the driver's own reductions.
+	Bytes [numCategories]int64
 }
 
 // Accounted sums the categorized time; the gap to Total is the row's
@@ -121,14 +128,18 @@ func BuildReport(spans []Span) *Report {
 			hasRun = true
 		}
 	}
-	classify := func(s Span) (covered, inRun, inPhase bool) {
+	// classify walks the ancestor chain; coverCat is the OUTERMOST ancestor
+	// with a direct category (the composite step that absorbs this span's
+	// time — and receives its bytes).
+	classify := func(s Span) (covered, inRun, inPhase bool, coverCat Category) {
 		for pid := s.Parent; pid != 0; {
 			p, ok := byID[pid]
 			if !ok {
 				break
 			}
-			if _, direct := directCategory(p); direct {
+			if c, direct := directCategory(p); direct {
 				covered = true
+				coverCat = c
 			}
 			switch p.Kind {
 			case KindRun:
@@ -169,8 +180,23 @@ func BuildReport(spans []Span) *Report {
 		if !direct {
 			continue
 		}
-		covered, inRun, inPhase := classify(s)
-		if covered || (hasRun && !inRun) {
+		covered, inRun, inPhase, coverCat := classify(s)
+		if hasRun && !inRun {
+			continue
+		}
+		// Bytes roll up into the covering composite's category (time does
+		// not — it would double count); an uncovered span keeps its own.
+		if s.Bytes != 0 {
+			bc := c
+			if covered {
+				bc = coverCat
+			}
+			rep.Overall.Bytes[bc] += s.Bytes
+			if inPhase {
+				row(s.Phase).Bytes[bc] += s.Bytes
+			}
+		}
+		if covered {
 			continue
 		}
 		d := time.Duration(s.Dur)
@@ -199,8 +225,8 @@ func BuildReport(spans []Span) *Report {
 // completed, so %other there includes inter-phase overheads.
 func (r *Report) Format(w io.Writer) {
 	fmt.Fprintf(w, "per-phase time breakdown (rank %d):\n", r.Rank)
-	fmt.Fprintf(w, "%7s %6s %12s %7s %7s %9s %9s %6s %7s\n",
-		"phase", "iters", "total", "%p2p", "%coll", "%coarsen", "%compute", "%ckpt", "%other")
+	fmt.Fprintf(w, "%7s %6s %12s %7s %7s %9s %9s %6s %7s %9s %9s\n",
+		"phase", "iters", "total", "%p2p", "%coll", "%coarsen", "%compute", "%ckpt", "%other", "p2pB", "collB")
 	writeRow := func(label string, pb PhaseBreakdown) {
 		total := pb.Total
 		if total <= 0 {
@@ -214,10 +240,11 @@ func (r *Report) Format(w io.Writer) {
 		if other < 0 {
 			other = 0
 		}
-		fmt.Fprintf(w, "%7s %6d %12s %7.1f %7.1f %9.1f %9.1f %6.1f %7.1f\n",
+		fmt.Fprintf(w, "%7s %6d %12s %7.1f %7.1f %9.1f %9.1f %6.1f %7.1f %9s %9s\n",
 			label, pb.Iterations, total.Round(time.Microsecond),
 			pct(pb.Cat[CatP2P]), pct(pb.Cat[CatCollective]), pct(pb.Cat[CatCoarsen]),
-			pct(pb.Cat[CatCompute]), pct(pb.Cat[CatCheckpoint]), pct(other))
+			pct(pb.Cat[CatCompute]), pct(pb.Cat[CatCheckpoint]), pct(other),
+			formatBytes(pb.Bytes[CatP2P]), formatBytes(pb.Bytes[CatCollective]))
 	}
 	for _, pb := range r.Phases {
 		writeRow(strconv.Itoa(pb.Phase), pb)
@@ -227,4 +254,16 @@ func (r *Report) Format(w io.Writer) {
 		overall.Total = r.Total
 	}
 	writeRow("all", overall)
+}
+
+// formatBytes renders a byte count compactly (12.3KB, 4.5MB).
+func formatBytes(n int64) string {
+	switch {
+	case n >= 10*1000*1000:
+		return fmt.Sprintf("%.1fMB", float64(n)/1e6)
+	case n >= 10*1000:
+		return fmt.Sprintf("%.1fKB", float64(n)/1e3)
+	default:
+		return strconv.FormatInt(n, 10) + "B"
+	}
 }

@@ -237,8 +237,11 @@ func superviseChaos(t *testing.T, p int, cfg core.Config, n int64, edges []graph
 			MinRanks:    1,
 		},
 		// The graphs here iterate in well under a millisecond, so even the
-		// clamped 20ms window is dozens of missed beacons.
-		Detector:      supervisor.DetectorConfig{MinWindow: 20 * time.Millisecond, MaxWindow: 200 * time.Millisecond},
+		// clamped 60ms window is dozens of missed beacons. Keep the floor
+		// comfortably above a loaded machine's checkpoint-write stall: a
+		// false-positive condemnation inserts a spurious generation and
+		// breaks the per-generation assertions below.
+		Detector:      supervisor.DetectorConfig{MinWindow: 60 * time.Millisecond, MaxWindow: 200 * time.Millisecond},
 		Poll:          5 * time.Millisecond,
 		Retryable:     chaosRetryable,
 		HasCheckpoint: func() bool { _, err := ckpt.ReadManifest(cfg.CheckpointDir); return err == nil },
@@ -419,7 +422,8 @@ func TestChaosPostMortemNamesDeathSite(t *testing.T) {
 			MaxBackoff:  5 * time.Millisecond,
 			MinRanks:    1,
 		},
-		Detector:      supervisor.DetectorConfig{MinWindow: 20 * time.Millisecond, MaxWindow: 200 * time.Millisecond},
+		// 60ms floor for the same false-positive margin as superviseChaos.
+		Detector:      supervisor.DetectorConfig{MinWindow: 60 * time.Millisecond, MaxWindow: 200 * time.Millisecond},
 		Poll:          5 * time.Millisecond,
 		Retryable:     chaosRetryable,
 		HasCheckpoint: func() bool { _, err := ckpt.ReadManifest(cfg.CheckpointDir); return err == nil },

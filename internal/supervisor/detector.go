@@ -220,7 +220,7 @@ func (d *Detector) state(t *rankTrack, now time.Time) State {
 	}
 }
 
-// Suspects returns every rank condemned as hung at time now, lowest rank
+// Suspects returns every rank condemned as hung at time now, longest-silent
 // first (the map iteration is sorted for deterministic diagnostics).
 func (d *Detector) Suspects(now time.Time) []Suspect {
 	d.mu.Lock()
@@ -236,10 +236,12 @@ func (d *Detector) Suspects(now time.Time) []Suspect {
 }
 
 // Live returns every rank not yet marked Done, with its current silence and
-// window, lowest rank first. A hang kills the whole world, so the
+// window, longest-silent first. A hang kills the whole world, so the
 // post-mortem wants every rank that died with it — including the original
 // hanger, whose adaptive window may be wider than its blocked victims' and
 // so may not have crossed into Suspect yet when the world is condemned.
+// The silence ordering puts that original hanger (earliest last beacon)
+// ahead of the victims it starved, whatever their windows decided.
 func (d *Detector) Live(now time.Time) []Suspect {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -254,9 +256,19 @@ func (d *Detector) Live(now time.Time) []Suspect {
 	return out
 }
 
+// sortSuspects orders by silence descending — the longest-silent rank is
+// the likeliest root cause (it stopped beaconing first; the others starved
+// waiting on it in a collective) — with rank ascending as the tie-break for
+// deterministic diagnostics.
 func sortSuspects(s []Suspect) {
+	less := func(a, b Suspect) bool {
+		if a.Silent != b.Silent {
+			return a.Silent > b.Silent
+		}
+		return a.Rank < b.Rank
+	}
 	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j].Rank < s[j-1].Rank; j-- {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
 			s[j], s[j-1] = s[j-1], s[j]
 		}
 	}

@@ -296,12 +296,16 @@ func (s *Supervisor) monitor(att Attempt) (error, bool) {
 			}
 			he := &HangError{Suspects: sus}
 			s.logf("%v; killing the world", he)
-			att.Kill()
 			// The kill takes the whole world, so the post-mortem covers
 			// every live rank, not just the condemned ones: the rank that
 			// caused the hang may have a wider adaptive window than the
 			// peers it left blocked in a collective, and then it is the
 			// victims — not the hanger — that cross into Suspect first.
+			//
+			// Dump BEFORE Kill: the kill unblocks hung ranks (their blocking
+			// points watch the kill channel), and an unblocked rank mutates
+			// its tracer on the way out — dumping first reads each rank's
+			// activity record while it is still frozen at the death site.
 			live := s.det.Live(time.Now())
 			for i := range live {
 				if b, ok := s.lastBeacon(live[i].Rank); ok {
@@ -309,6 +313,7 @@ func (s *Supervisor) monitor(att Attempt) (error, bool) {
 				}
 			}
 			s.postMortem(live)
+			att.Kill()
 			if err := <-done; err != nil {
 				he.Cause = err
 			} else {
