@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race test-race-all test-chaos test-obsv golden bench bench-record bench-smoke fuzz experiments experiments-md clean
+.PHONY: all check build vet test test-race test-race-all test-chaos test-obsv service-smoke golden bench bench-record bench-smoke fuzz experiments experiments-md clean
 
 all: check
 
 # The full gate: compile, static analysis, tests, and a race-detector pass
 # over the packages that juggle rank goroutines.
-check: build vet test test-race
+check: build vet test test-race service-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,14 @@ test:
 # spans into from rank goroutines.
 test-race:
 	$(GO) test -race ./internal/mpi/... ./internal/core/... ./internal/obsv/...
+
+# End-to-end daemon gate: the service package's acceptance suite (budget
+# scheduling, abort/resume bit-identity, cache hits, SSE) under the race
+# detector, plus the process-level dlouvaind smoke test — start the real
+# daemon, submit over HTTP (second job must hit the cache), stream SSE,
+# compare the answer against a CLI dlouvain run, drain with SIGTERM.
+service-smoke:
+	$(GO) test -race -count=1 ./internal/service/... ./cmd/dlouvaind/...
 
 # The observability suite under the race detector: golden trace-structure
 # comparisons, determinism, zero-alloc disabled-path, and concurrent span

@@ -146,6 +146,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dlouvain: -resume requires -ckpt-dir")
 		os.Exit(2)
 	}
+	if err := validateFlags(flagValues{
+		np: *np, threads: *threads, alpha: *alpha, tau: *tau,
+		wireFmt: *wireFmt, ckptEvery: *ckptEvery, ckptKeep: *ckptKeep,
+		supervise: *supervise, minRanks: *minRanks, maxRestarts: *maxRestarts,
+		transport: *transport,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "dlouvain: %v\n", err)
+		fmt.Fprintln(os.Stderr, "usage: dlouvain [flags] <graph.bin>  (run with -h for the flag list)")
+		os.Exit(2)
+	}
 	path := flag.Arg(0)
 
 	cfg, err := buildConfig(*variant, *alpha)

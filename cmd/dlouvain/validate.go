@@ -1,0 +1,70 @@
+// Flag validation for dlouvain: catch contradictory or out-of-range flag
+// combinations before any world is launched, so misuse fails fast with exit
+// code 2 and a usage hint instead of a confusing mid-run error.
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"distlouvain/internal/mpi"
+)
+
+// flagValues carries the parsed flags validateFlags inspects. A struct (not
+// the flag pointers) keeps the rules independently testable.
+type flagValues struct {
+	np          int
+	threads     int
+	alpha       float64
+	tau         float64
+	wireFmt     int
+	ckptEvery   int
+	ckptKeep    int
+	supervise   bool
+	minRanks    int
+	maxRestarts int
+	transport   string
+}
+
+// validateFlags rejects flag combinations that cannot describe a valid run.
+// It reports the FIRST violation: one clear complaint beats a wall of them.
+func validateFlags(v flagValues) error {
+	if v.transport != "inproc" && v.transport != "tcp" && v.transport != "tcp-local" {
+		return fmt.Errorf("unknown -transport %q (want inproc, tcp, or tcp-local)", v.transport)
+	}
+	if v.np < 1 {
+		return fmt.Errorf("-np must be >= 1 (got %d)", v.np)
+	}
+	if v.threads < 1 {
+		return fmt.Errorf("-threads must be >= 1 (got %d)", v.threads)
+	}
+	if v.alpha < 0 || v.alpha > 1 {
+		return fmt.Errorf("-alpha must be in [0, 1] (got %g)", v.alpha)
+	}
+	if v.tau < 0 {
+		return fmt.Errorf("-tau must be non-negative (got %g)", v.tau)
+	}
+	switch v.wireFmt {
+	case 0, mpi.WireV1, mpi.WireV2:
+	default:
+		return fmt.Errorf("-wire-format must be 0 (newest), %d or %d (got %d)", mpi.WireV1, mpi.WireV2, v.wireFmt)
+	}
+	if v.ckptEvery < 1 {
+		return fmt.Errorf("-ckpt-every must be >= 1 (got %d)", v.ckptEvery)
+	}
+	if v.ckptKeep < 1 {
+		return fmt.Errorf("-ckpt-keep must be >= 1 (got %d)", v.ckptKeep)
+	}
+	if v.supervise {
+		if v.minRanks < 1 {
+			return fmt.Errorf("-min-ranks must be >= 1 (got %d)", v.minRanks)
+		}
+		if v.minRanks > v.np {
+			return fmt.Errorf("-min-ranks %d exceeds -np %d: degradation can only shrink the world", v.minRanks, v.np)
+		}
+		if v.maxRestarts < 0 {
+			return errors.New("-max-restarts must be non-negative")
+		}
+	}
+	return nil
+}

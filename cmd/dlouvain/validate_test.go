@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// valid returns a flagValues that passes validation; tests mutate one field.
+func valid() flagValues {
+	return flagValues{
+		np: 4, threads: 1, alpha: 0.25, tau: 0,
+		wireFmt: 0, ckptEvery: 1, ckptKeep: 2,
+		supervise: false, minRanks: 1, maxRestarts: 5,
+		transport: "inproc",
+	}
+}
+
+func TestValidateFlagsAcceptsDefaults(t *testing.T) {
+	if err := validateFlags(valid()); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	sup := valid()
+	sup.supervise = true
+	if err := validateFlags(sup); err != nil {
+		t.Fatalf("default supervised flags rejected: %v", err)
+	}
+}
+
+func TestValidateFlagsRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*flagValues)
+		want string // substring of the complaint
+	}{
+		{"negative ckpt-every", func(v *flagValues) { v.ckptEvery = -1 }, "-ckpt-every"},
+		{"zero ckpt-every", func(v *flagValues) { v.ckptEvery = 0 }, "-ckpt-every"},
+		{"zero ckpt-keep", func(v *flagValues) { v.ckptKeep = 0 }, "-ckpt-keep"},
+		{"bad wire-format", func(v *flagValues) { v.wireFmt = 7 }, "-wire-format"},
+		{"negative wire-format", func(v *flagValues) { v.wireFmt = -1 }, "-wire-format"},
+		{"min-ranks over np", func(v *flagValues) { v.supervise = true; v.minRanks = 9; v.np = 4 }, "-min-ranks"},
+		{"zero min-ranks", func(v *flagValues) { v.supervise = true; v.minRanks = 0 }, "-min-ranks"},
+		{"zero np", func(v *flagValues) { v.np = 0 }, "-np"},
+		{"zero threads", func(v *flagValues) { v.threads = 0 }, "-threads"},
+		{"alpha above one", func(v *flagValues) { v.alpha = 1.5 }, "-alpha"},
+		{"negative tau", func(v *flagValues) { v.tau = -1e-6 }, "-tau"},
+		{"unknown transport", func(v *flagValues) { v.transport = "carrier-pigeon" }, "-transport"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := valid()
+			tc.mut(&v)
+			err := validateFlags(v)
+			if err == nil {
+				t.Fatalf("expected rejection, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("complaint %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Unsupervised runs ignore -min-ranks entirely: a value bigger than -np is
+// only a contradiction when supervision can degrade the world.
+func TestValidateFlagsMinRanksIgnoredWithoutSupervise(t *testing.T) {
+	v := valid()
+	v.minRanks = 100
+	if err := validateFlags(v); err != nil {
+		t.Fatalf("min-ranks should be ignored unsupervised: %v", err)
+	}
+}

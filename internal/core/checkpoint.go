@@ -63,7 +63,7 @@ func (rs *runState) writeCheckpoint() error {
 		m := &ckpt.Manifest{
 			Version:    ckpt.ManifestVersion,
 			WorldSize:  c.Size(),
-			ConfigHash: rs.cfg.Hash(),
+			ConfigHash: string(rs.cfg.Fingerprint()),
 			Phase:      completed,
 			OrigN:      rs.origN,
 			CoarseN:    rs.cur.GlobalN,

@@ -337,8 +337,8 @@ func TestResumeRejectsConfigMismatch(t *testing.T) {
 		_, err := Resume(c, dir, other)
 		return err
 	})
-	if err == nil || !strings.Contains(err.Error(), "config hash") {
-		t.Fatalf("error = %v, want config hash mismatch", err)
+	if err == nil || !strings.Contains(err.Error(), "config fingerprint") {
+		t.Fatalf("error = %v, want config fingerprint mismatch", err)
 	}
 }
 

@@ -12,7 +12,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"distlouvain/internal/mpi"
@@ -240,21 +239,6 @@ func (c *Config) progress(ev ProgressEvent) {
 	}
 }
 
-// Hash fingerprints the trajectory-determining parameters. A checkpoint is
-// only valid for the exact move sequence its configuration produces, so the
-// manifest records this hash and Resume refuses a mismatch. Deliberately
-// excluded: Threads, SendChangedOnly, UseNeighborCollectives, WireFormat,
-// GhostRefresh, GhostSparseThreshold, GatherOutput and the checkpoint
-// settings themselves — they change performance or output plumbing, never
-// the result, so a resume may alter them freely.
-func (c Config) Hash() string {
-	c.fill() // value receiver: canonicalize defaults without mutating the caller
-	h := fnv.New64a()
-	fmt.Fprintf(h, "tau=%v;sched=%v;alpha=%v;etc=%v;etcexit=%v;maxphases=%d;maxiter=%d;seed=%d;coloring=%v",
-		c.Tau, c.TauSchedule, c.Alpha, c.ETC, c.ETCExit, c.MaxPhases, c.MaxIterations, c.Seed, c.UseColoring)
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
 // PaperTauSchedule is the Fig. 2 cycling schedule: τ = 10⁻³ for 3 phases,
 // 10⁻⁴ for 4, 10⁻⁵ for 3, 10⁻⁶ for 3, then repeat.
 func PaperTauSchedule() []float64 {
@@ -336,6 +320,10 @@ type ProgressEvent struct {
 	Iteration  int     // 1-based within the phase; 0 for non-iteration events
 	Modularity float64 // latest globally agreed modularity (NaN before the first)
 	Vertices   int64   // global coarse-graph size at the phase start
+	// Communities is the final global community count, populated only on
+	// ProgressDone (0 on every other milestone) so streaming consumers can
+	// report the headline result without waiting for a separate fetch.
+	Communities int64
 }
 
 // ExitReason explains why a phase's iteration loop ended.

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distlouvain/internal/gen"
+	"distlouvain/internal/gio"
+	"distlouvain/internal/graph"
+)
+
+// TestFingerprintStability pins known inputs to known digests. These values
+// are persisted in checkpoint manifests, service result caches and job
+// records, so they must stay identical across releases: a failure here means
+// every stored artifact would silently stop matching. If a fingerprint
+// change is truly intended, bump the relevant on-disk schema version and
+// update the pins in the same commit.
+func TestFingerprintStability(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want Fingerprint
+	}{
+		{"baseline defaults", Baseline(), "c9c770952769d5e3"},
+		{"etc 0.25", ETC(0.25), "f54eedebcbd45f1d"},
+		{"custom trajectory knobs", Config{
+			Tau: 1e-4, TauSchedule: []float64{1e-3, 1e-4}, Alpha: 0.5,
+			Seed: 42, UseColoring: true, MaxIterations: 7,
+		}, "fd5547d33148c1e6"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Fingerprint(); got != c.want {
+			t.Errorf("%s: Fingerprint = %s, want %s (cross-version stability broken)", c.name, got, c.want)
+		}
+		if got := c.cfg.Hash(); got != string(c.want) {
+			t.Errorf("%s: Hash = %s, want the Fingerprint string %s", c.name, got, c.want)
+		}
+	}
+}
+
+// TestFingerprintIgnoresPerformanceKnobs verifies the documented exclusion
+// list: plumbing that never changes the trajectory must not re-key caches or
+// invalidate checkpoints.
+func TestFingerprintIgnoresPerformanceKnobs(t *testing.T) {
+	base := ETC(0.25)
+	perturbed := base
+	perturbed.Threads = 8
+	perturbed.SendChangedOnly = true
+	perturbed.UseNeighborCollectives = true
+	perturbed.WireFormat = 1
+	perturbed.GhostRefresh = GhostDense
+	perturbed.GhostSparseThreshold = 0.9
+	perturbed.GatherOutput = true
+	perturbed.CheckpointDir = "somewhere"
+	perturbed.CheckpointEvery = 3
+	perturbed.CheckpointKeep = 7
+	if base.Fingerprint() != perturbed.Fingerprint() {
+		t.Fatal("performance-only knobs changed the config fingerprint")
+	}
+	traj := base
+	traj.Seed = 99
+	if base.Fingerprint() == traj.Fingerprint() {
+		t.Fatal("a trajectory knob (Seed) did not change the config fingerprint")
+	}
+}
+
+// TestGraphFingerprintStability pins the digest of a deterministic generator
+// output, and checks sensitivity to content changes.
+func TestGraphFingerprintStability(t *testing.T) {
+	dir := t.TempDir()
+	n, edges := gen.ErdosRenyi(40, 120, 9)
+	p := filepath.Join(dir, "g.bin")
+	if err := gio.WriteBinary(p, n, edges); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := GraphFingerprint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Fingerprint("861f1fa7eb8e9422"); fp != want {
+		t.Fatalf("GraphFingerprint = %s, want %s (cross-version stability broken)", fp, want)
+	}
+
+	// Same edges, one weight changed: a different input.
+	edges2 := append([]graph.RawEdge(nil), edges...)
+	edges2[0].W += 1
+	p2 := filepath.Join(dir, "g2.bin")
+	if err := gio.WriteBinary(p2, n, edges2); err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := GraphFingerprint(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 == fp {
+		t.Fatal("weight change did not change the graph fingerprint")
+	}
+
+	if _, err := GraphFingerprint(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestGraphFingerprintMatchesBytes confirms the digest is over raw file
+// bytes: an identical copy fingerprints identically regardless of path.
+func TestGraphFingerprintMatchesBytes(t *testing.T) {
+	dir := t.TempDir()
+	n, edges := gen.ErdosRenyi(20, 40, 3)
+	a := filepath.Join(dir, "a.bin")
+	if err := gio.WriteBinary(a, n, edges); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := filepath.Join(dir, "b.bin")
+	if err := os.WriteFile(b, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fa, err := GraphFingerprint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := GraphFingerprint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Fatalf("identical bytes fingerprint differently: %s vs %s", fa, fb)
+	}
+}

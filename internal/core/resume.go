@@ -44,8 +44,8 @@ func Resume(c *mpi.Comm, dir string, cfg Config) (*Result, error) {
 	if rank == 0 {
 		var man *ckpt.Manifest
 		man, rootErr = ckpt.ReadManifest(dir)
-		if rootErr == nil && man.ConfigHash != cfg.Hash() {
-			rootErr = fmt.Errorf("ckpt: config hash %s does not match checkpoint's %s: the snapshot encodes a trajectory this configuration would not produce", cfg.Hash(), man.ConfigHash)
+		if rootErr == nil && man.ConfigHash != string(cfg.Fingerprint()) {
+			rootErr = fmt.Errorf("ckpt: config fingerprint %s does not match checkpoint's %s: the snapshot encodes a trajectory this configuration would not produce", cfg.Fingerprint(), man.ConfigHash)
 		}
 		if rootErr == nil {
 			for r, f := range man.Files {

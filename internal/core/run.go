@@ -225,7 +225,7 @@ func (rs *runState) runLoop() (*Result, error) {
 	rs.steps.Total = res.Runtime
 	res.Steps = *rs.steps
 	res.Traffic = c.Stats().Snapshot().Sub(trafficStart)
-	cfg.progress(ProgressEvent{Kind: ProgressDone, Phase: rs.phase, Iteration: res.TotalIterations, Modularity: res.Modularity, Vertices: rs.cur.GlobalN})
+	cfg.progress(ProgressEvent{Kind: ProgressDone, Phase: rs.phase, Iteration: res.TotalIterations, Modularity: res.Modularity, Vertices: rs.cur.GlobalN, Communities: res.Communities})
 	return res, nil
 }
 

@@ -70,6 +70,12 @@ type Options struct {
 	// will resume from a checkpoint, and the failure that caused it. nil
 	// disables. Metrics registries use it to mark generation boundaries.
 	OnRestart func(restarts, ranks int, resume bool, cause error)
+	// OnAttempt observes every attempt right before its launch, including
+	// the first. Schedulers that admit supervised worlds against a shared
+	// rank budget use it to track the ACTUAL world size of each attempt —
+	// degradation shrinks it below the admitted size, and the freed ranks
+	// can be re-granted elsewhere. nil disables.
+	OnAttempt func(spec LaunchSpec)
 }
 
 // HangError reports a world the supervisor killed because its beacons went
@@ -135,6 +141,7 @@ type Supervisor struct {
 	cur      Attempt
 	gen      int // attempt generation; stale beacon sinks are ignored
 	stopping bool
+	aborting bool // hard abort: kill, don't wait for a checkpoint
 	last     map[int]Beacon // latest beacon per rank, current attempt only
 }
 
@@ -160,6 +167,25 @@ func (s *Supervisor) Interrupt() {
 	s.logf("supervisor: interrupt requested; stopping after the current attempt")
 	if att != nil {
 		att.Interrupt()
+	}
+}
+
+// Abort hard-stops the supervised run: the current attempt is killed without
+// waiting for a phase boundary and no further restarts happen. Run returns
+// the killed attempt's error. Unlike Interrupt, Abort does not leave a fresh
+// checkpoint — whatever the run last committed is what a later resume gets.
+// Job schedulers use it to reclaim a world's ranks immediately (a queued job
+// is waiting for them); operators cancelling a run they still want to finish
+// later should prefer Interrupt.
+func (s *Supervisor) Abort() {
+	s.mu.Lock()
+	s.stopping = true
+	s.aborting = true
+	att := s.cur
+	s.mu.Unlock()
+	s.logf("supervisor: abort requested; killing the current attempt")
+	if att != nil {
+		att.Kill()
 	}
 }
 
@@ -193,6 +219,9 @@ func (s *Supervisor) Run(ranks int, resume bool) error {
 			s.det.Observe(r, now)
 		}
 		s.logf("supervisor: attempt %d: launching %d ranks (resume=%v)", spec.Attempt, ranks, resume)
+		if s.opt.OnAttempt != nil {
+			s.opt.OnAttempt(spec)
+		}
 		att, err := s.launcher.Launch(spec, func(b Beacon) { s.observe(gen, b) })
 		var aerr error
 		var hung bool
@@ -201,9 +230,11 @@ func (s *Supervisor) Run(ranks int, resume bool) error {
 		} else {
 			s.mu.Lock()
 			s.cur = att
-			stopping := s.stopping
+			stopping, aborting := s.stopping, s.aborting
 			s.mu.Unlock()
-			if stopping {
+			if aborting {
+				att.Kill() // abort raced the launch; re-deliver
+			} else if stopping {
 				att.Interrupt() // interrupt raced the launch; re-deliver
 			}
 			aerr, hung = s.monitor(att)

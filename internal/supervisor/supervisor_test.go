@@ -272,3 +272,107 @@ func TestSupervisorInterruptStopsRestarting(t *testing.T) {
 		t.Fatalf("interrupted run relaunched %d times", n)
 	}
 }
+
+func TestSupervisorAbortKillsAndStopsRestarting(t *testing.T) {
+	// The attempt would fail retryably when killed; without the abort the
+	// supervisor would relaunch it from the checkpoint.
+	att := &fakeAttempt{release: make(chan struct{}), killErr: errTransient}
+	l := &fakeLauncher{attempts: []*fakeAttempt{att}}
+	opt := fastOptions()
+	opt.HasCheckpoint = func() bool { return true }
+	sup := New(l, opt)
+
+	done := make(chan error, 1)
+	go func() { done <- sup.Run(2, false) }()
+	for {
+		l.mu.Lock()
+		n := len(l.specs)
+		l.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sup.Abort()
+	err := <-done
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want the killed attempt's error surfaced", err)
+	}
+	if !att.killed.Load() {
+		t.Fatal("abort never killed the attempt")
+	}
+	if att.interrupted.Load() {
+		t.Fatal("abort must kill, not gracefully interrupt")
+	}
+	if n := len(l.launched()); n != 1 {
+		t.Fatalf("aborted run relaunched %d times", n)
+	}
+}
+
+func TestSupervisorAbortBeforeLaunchKillsOnArrival(t *testing.T) {
+	// Abort lands before the (slow) launch completes: the supervisor must
+	// re-deliver the kill to the attempt it was handed.
+	att := &fakeAttempt{release: make(chan struct{}), killErr: errTransient}
+	launchStarted := make(chan struct{})
+	launchGate := make(chan struct{})
+	l := &gatedLauncher{att: att, started: launchStarted, gate: launchGate}
+	sup := New(l, fastOptions())
+
+	done := make(chan error, 1)
+	go func() { done <- sup.Run(2, false) }()
+	<-launchStarted
+	sup.Abort() // current attempt is still nil; only the flag is set
+	close(launchGate)
+	if err := <-done; !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want the killed attempt's error", err)
+	}
+	if !att.killed.Load() {
+		t.Fatal("abort flag set before launch was not re-delivered as a kill")
+	}
+}
+
+// gatedLauncher blocks Launch until its gate opens, to race supervisor
+// signals against an in-flight launch.
+type gatedLauncher struct {
+	att     *fakeAttempt
+	started chan struct{}
+	gate    chan struct{}
+	once    sync.Once
+}
+
+func (l *gatedLauncher) Launch(spec LaunchSpec, beacons func(Beacon)) (Attempt, error) {
+	l.once.Do(func() { close(l.started) })
+	<-l.gate
+	return l.att, nil
+}
+
+func TestSupervisorOnAttemptObservesEveryLaunch(t *testing.T) {
+	l := &fakeLauncher{attempts: []*fakeAttempt{{err: errTransient}, {err: errTransient}, {}}}
+	opt := fastOptions()
+	opt.Policy.DegradeAfter = 2
+	opt.Policy.MinRanks = 1
+	opt.HasCheckpoint = func() bool { return true }
+	var mu sync.Mutex
+	var seen []LaunchSpec
+	opt.OnAttempt = func(spec LaunchSpec) {
+		mu.Lock()
+		seen = append(seen, spec)
+		mu.Unlock()
+	}
+	if err := New(l, opt).Run(3, false); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("OnAttempt saw %d launches, want 3 (%+v)", len(seen), seen)
+	}
+	if seen[0].Ranks != 3 || seen[1].Ranks != 3 {
+		t.Fatalf("first two attempts should run at the admitted size: %+v", seen)
+	}
+	// Two consecutive failures at 3 ranks degrade the third attempt — the
+	// budget observer must see the shrunken world.
+	if seen[2].Ranks != 2 || !seen[2].Resume {
+		t.Fatalf("degraded attempt not observed: %+v", seen[2])
+	}
+}
