@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race test-race-all test-chaos test-obsv service-smoke golden bench bench-record bench-smoke fuzz experiments experiments-md clean
+.PHONY: all check build vet test test-race test-race-all test-chaos test-wan test-obsv service-smoke golden bench bench-record bench-smoke fuzz experiments experiments-md clean
 
 all: check
 
 # The full gate: compile, static analysis, tests, and a race-detector pass
-# over the packages that juggle rank goroutines.
-check: build vet test test-race service-smoke
+# over the packages that juggle rank goroutines, plus the multi-host WAN
+# chaos suite over real sockets.
+check: build vet test test-race service-smoke test-wan
 
 build:
 	$(GO) build ./...
@@ -57,6 +58,16 @@ test-race-all:
 test-chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Supervisor|Supervise|Interrupt|Detector|Backoff|Beacon' \
 		./internal/supervisor/... ./internal/core/... ./cmd/dlouvain/...
+
+# The multi-host WAN chaos suite: coordinator rendezvous, host-agent and
+# tcp-remote driver processes over real TCP sockets, disturbed by whole-host
+# SIGKILL, asymmetric partitions (chaosnet proxy), absent coordinators,
+# stale-epoch fencing and slow links — every run required to finish
+# bit-identical to the undisturbed baseline. Includes the coordinator's and
+# the chaos proxy's own unit suites.
+test-wan:
+	$(GO) test -race -count=1 ./internal/coord/... ./internal/chaosnet/...
+	$(GO) test -race -count=1 -run TestWAN ./cmd/dlouvain/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,61 @@
+// dcoord is the rendezvous coordinator for multi-host dlouvain worlds.
+//
+// One dcoord fronts any number of jobs: ranks join under a job id and
+// receive full membership plus a fencing generation, host agents register
+// their slots and hold leases, and tcp-remote drivers attach as controllers
+// to place ranks and watch exits. All state is in-memory and soft: every
+// client re-registers or re-joins with backoff after a coordinator restart,
+// and the clock-seeded generation base guarantees a reborn coordinator never
+// re-issues a fencing token an old world might still hold.
+//
+//	dcoord -listen 0.0.0.0:9470
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"distlouvain/internal/coord"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9470", "address to listen on (use 0.0.0.0:PORT for multi-host)")
+	lease := flag.Duration("lease", 5*time.Second, "host lease TTL; silent hosts are condemned after this")
+	joinTimeout := flag.Duration("join-timeout", 30*time.Second, "how long an incomplete join barrier may wait for stragglers")
+	quiet := flag.Bool("q", false, "suppress membership log lines")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "dcoord: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	cfg := coord.ServerConfig{
+		LeaseTTL:    *lease,
+		JoinTimeout: *joinTimeout,
+		// Seconds-resolution clock shifted 20 bits: a restarted coordinator
+		// starts above every token it could have issued before, with 2^20
+		// generations per second of headroom under the old base.
+		GenBase: uint64(time.Now().Unix()) << 20,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv, err := coord.Serve(*listen, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcoord: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dcoord: listening on %s (lease %s)\n", srv.Addr(), *lease)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGTERM, os.Interrupt)
+	<-ch
+	fmt.Fprintln(os.Stderr, "dcoord: shutting down")
+	srv.Close()
+}

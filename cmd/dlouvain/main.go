@@ -16,6 +16,25 @@
 //
 //	dlouvain -transport tcp-local -np 4 g.bin
 //
+// Multi-host: instead of hand-writing -hosts lists, ranks can rendezvous
+// through a coordinator (cmd/dcoord). Each rank binds its own listener,
+// registers under a job id, and receives the sealed membership plus a
+// generation fencing token that keeps stale ranks from healed partitions out
+// of live worlds:
+//
+//	dcoord -listen 10.0.0.1:9470 &
+//	dlouvain -transport tcp -coord 10.0.0.1:9470 -coord-job j1 -np 2 -rank 0 g.bin &
+//	dlouvain -transport tcp -coord 10.0.0.1:9470 -coord-job j1 -np 2 -rank 1 g.bin
+//
+// Or run a host agent per machine and let a supervising driver place the
+// ranks, watch their beacons over the WAN control channel, and re-place the
+// ranks of hosts the coordinator condemns:
+//
+//	dlouvain -host-agent -coord 10.0.0.1:9470 -coord-job j1 -slots 4 \
+//	    -agent-advertise 10.0.0.2 &            # on every worker machine
+//	dlouvain -transport tcp-remote -coord 10.0.0.1:9470 -coord-job j1 \
+//	    -np 8 -ckpt-dir /shared/ck g.bin       # the driver, anywhere
+//
 // Variants: baseline, tc (threshold cycling), et, etc, ettc (ET+TC); et,
 // etc and ettc require -alpha. Use -truth to score against a ground-truth
 // community file and -o to write the detected assignment.
@@ -54,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"distlouvain/internal/coord"
 	"distlouvain/internal/core"
 	"distlouvain/internal/dgraph"
 	"distlouvain/internal/gio"
@@ -71,6 +91,24 @@ func main() {
 		rank       = flag.Int("rank", 0, "tcp: this process's rank")
 		hosts      = flag.String("hosts", "", "tcp: comma-separated host:port per rank")
 		variant    = flag.String("variant", "baseline", "baseline, tc, et, etc, ettc")
+
+		// Multi-host rendezvous and placement: -coord replaces -hosts (ranks
+		// discover each other through the coordinator under a job id and a
+		// fencing generation), -host-agent turns this process into a machine
+		// agent executing placed ranks, and -transport tcp-remote runs the
+		// supervising driver that places ranks across registered hosts.
+		coordAddr      = flag.String("coord", "", "coordinator address (host:port); replaces -hosts for tcp, required for tcp-remote")
+		coordJob       = flag.String("coord-job", "dlouvain", "coordinator job id; every rank and agent of one world shares it")
+		coordEpoch     = flag.Int("coord-epoch", 1, "world incarnation under -coord; each relaunch must use a higher epoch")
+		listenAddr     = flag.String("listen", "", "coord rendezvous: mesh listen address (default 127.0.0.1:0; multi-host ranks need a routable interface)")
+		advertiseSpec  = flag.String("advertise", "", "coord rendezvous: address peers dial for this rank (host or host:port; default the bound listener)")
+		hostAgent      = flag.Bool("host-agent", false, "run as a host agent: register -slots with -coord and execute ranks placed here (no graph argument)")
+		agentHost      = flag.String("agent-host", "", "host-agent: unique host name within the job (default the OS hostname)")
+		agentSlots     = flag.Int("slots", 1, "host-agent: how many ranks this host offers")
+		agentAdvertise = flag.String("agent-advertise", "", "host-agent: address ranks spawned here advertise to peers (host or host:port)")
+		remoteBin      = flag.String("remote-bin", "", "tcp-remote: dlouvain binary path on the agent hosts (default this executable's path)")
+		controlListen  = flag.String("control-listen", "", "tcp-remote: beacon control-channel listen address (default 127.0.0.1:0; must be reachable from agent hosts)")
+
 		alpha      = flag.Float64("alpha", 0.25, "early-termination decay (et, etc, ettc)")
 		tau        = flag.Float64("tau", 0, "convergence threshold (default 1e-6)")
 		threads    = flag.Int("threads", 1, "worker threads per rank")
@@ -137,6 +175,26 @@ func main() {
 		faultKill   = flag.Int64("fault-kill-after", 0, "kill this rank's transport after N sends (tcp)")
 	)
 	flag.Parse()
+	if err := validateFlags(flagValues{
+		np: *np, threads: *threads, alpha: *alpha, tau: *tau,
+		wireFmt: *wireFmt, ckptEvery: *ckptEvery, ckptKeep: *ckptKeep,
+		supervise: *supervise, minRanks: *minRanks, maxRestarts: *maxRestarts,
+		transport: *transport, hosts: *hosts, rank: *rank,
+		coord: *coordAddr, coordEpoch: *coordEpoch,
+		hostAgent: *hostAgent, agentSlots: *agentSlots,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "dlouvain: %v\n", err)
+		fmt.Fprintln(os.Stderr, "usage: dlouvain [flags] <graph.bin>  (run with -h for the flag list)")
+		os.Exit(2)
+	}
+	if *hostAgent {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: dlouvain -host-agent -coord host:port [flags]  (no graph argument: the driver supplies it)")
+			os.Exit(2)
+		}
+		runHostAgent(*coordAddr, *coordJob, *agentHost, *agentSlots, *agentAdvertise)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dlouvain [flags] <graph.bin>")
 		flag.PrintDefaults()
@@ -144,16 +202,6 @@ func main() {
 	}
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "dlouvain: -resume requires -ckpt-dir")
-		os.Exit(2)
-	}
-	if err := validateFlags(flagValues{
-		np: *np, threads: *threads, alpha: *alpha, tau: *tau,
-		wireFmt: *wireFmt, ckptEvery: *ckptEvery, ckptKeep: *ckptKeep,
-		supervise: *supervise, minRanks: *minRanks, maxRestarts: *maxRestarts,
-		transport: *transport,
-	}); err != nil {
-		fmt.Fprintf(os.Stderr, "dlouvain: %v\n", err)
-		fmt.Fprintln(os.Stderr, "usage: dlouvain [flags] <graph.bin>  (run with -h for the flag list)")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -225,11 +273,32 @@ func main() {
 		}
 		runInproc(path, hdr, *np, cfg, *edgeBal, *resume, *outPath, *truthPath, *verbose, commOpts, oopts)
 	case "tcp":
-		addrs := strings.Split(*hosts, ",")
-		if len(addrs) < 1 || *hosts == "" {
-			fatalf("tcp transport needs -hosts")
+		var size int
+		var dial func() (mpi.Transport, error)
+		if *coordAddr != "" {
+			size = *np
+			adv := meshAdvertise(*advertiseSpec)
+			listen := meshListen(*listenAddr, adv)
+			dial = func() (mpi.Transport, error) {
+				return mpi.DialCoordWorld(mpi.CoordWorldConfig{
+					Coord: *coordAddr, Job: *coordJob, Epoch: *coordEpoch,
+					Rank: *rank, Size: size,
+					Listen: listen, Advertise: adv,
+				})
+			}
+		} else {
+			addrs := strings.Split(*hosts, ",")
+			size = len(addrs)
+			dial = func() (mpi.Transport, error) {
+				return mpi.DialTCPWorld(mpi.TCPWorldConfig{Rank: *rank, Addrs: addrs})
+			}
 		}
-		runTCP(path, hdr, *rank, addrs, cfg, *edgeBal, *resume, *outPath, *truthPath, *verbose, commOpts, fault, oopts)
+		runTCP(path, hdr, *rank, size, dial, cfg, *edgeBal, *resume, *outPath, *truthPath, *verbose, commOpts, fault, oopts)
+	case "tcp-remote":
+		superviseRemoteTCP(*np, path, cfg, *resume, sopts, oopts, remoteOptions{
+			coord: *coordAddr, job: *coordJob,
+			bin: *remoteBin, controlListen: *controlListen,
+		})
 	case "tcp-local":
 		if *supervise {
 			superviseLocalTCP(*np, path, cfg, *resume, sopts, oopts)
@@ -452,7 +521,36 @@ func runInproc(path string, hdr gio.Header, np int, cfg core.Config, edgeBal, re
 	oopts.printReport(tracers[0])
 }
 
-func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Config, edgeBal, resume bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption, fault mpi.FaultPlan, oopts obsOptions) {
+// envAdvertise is the advertise-address default a host agent installs for
+// the ranks it spawns: the agent — not the driver — knows which interface
+// peers can reach its machine on.
+const envAdvertise = "DLOUVAIN_ADVERTISE"
+
+// meshAdvertise resolves the address this rank publishes to its peers: the
+// -advertise flag, else the host agent's environment default, else empty
+// (publish the bound listener verbatim).
+func meshAdvertise(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	return os.Getenv(envAdvertise)
+}
+
+// meshListen resolves the mesh listen address: the -listen flag wins; a rank
+// with an advertised identity listens on every interface (peers dial the
+// advertised one); otherwise the loopback default keeps single-machine worlds
+// off external interfaces.
+func meshListen(flagVal, advertise string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	if advertise != "" {
+		return ":0"
+	}
+	return ""
+}
+
+func runTCP(path string, hdr gio.Header, rank, size int, dial func() (mpi.Transport, error), cfg core.Config, edgeBal, resume bool, outPath, truthPath string, verbose bool, commOpts []mpi.CommOption, fault mpi.FaultPlan, oopts obsOptions) {
 	var interrupted atomic.Bool
 	cfg.Interrupted = interrupted.Load
 	trapInterrupt(func(os.Signal) {
@@ -478,8 +576,17 @@ func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Conf
 		}
 	}
 
-	tp, err := mpi.DialTCPWorld(mpi.TCPWorldConfig{Rank: rank, Addrs: addrs})
+	tp, err := dial()
 	if err != nil {
+		// Fencing is terminal even under supervision: this epoch's world no
+		// longer exists, so retrying the same incarnation can never succeed
+		// — and must not, or a stale rank from a healed partition would claw
+		// its way back into the world that replaced it.
+		var cfe *coord.FencedError
+		var mfe *mpi.ErrFenced
+		if errors.As(err, &cfe) || errors.As(err, &mfe) {
+			fatalf("rank %d: %v", rank, err)
+		}
 		if supervised {
 			fmt.Fprintf(os.Stderr, "dlouvain: rank %d: rendezvous: %v\n", rank, err)
 			os.Exit(exitRetryable)
@@ -503,7 +610,7 @@ func runTCP(path string, hdr gio.Header, rank int, addrs []string, cfg core.Conf
 	}
 	recordRunMetrics(reg, res)
 	if rank == 0 {
-		report(res, hdr, cfg, len(addrs), outPath, truthPath)
+		report(res, hdr, cfg, size, outPath, truthPath)
 		oopts.printReport(tr)
 	}
 }

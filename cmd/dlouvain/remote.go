@@ -1,0 +1,464 @@
+// Multi-host supervision: -transport tcp-remote runs the supervising driver
+// of a coordinator-placed world. Each attempt places one rank process per
+// slot across the hosts currently registered with the coordinator, spawns
+// them through the coordinator's control channel, and watches their progress
+// beacons over the WAN control channel exactly like the tcp-local supervisor
+// watches local children. Rank death reaches the driver as an exit event;
+// host death reaches it when the coordinator's lease reaper condemns the
+// silent host and synthesizes exits for its orphaned spawns. Either way the
+// attempt fails retryably and the next attempt — at the NEXT epoch, so the
+// old world is fenced — re-places every rank on the hosts that survive.
+//
+// The graph and -ckpt-dir must live on storage every host shares; the driver
+// does not ship files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"distlouvain/internal/coord"
+	"distlouvain/internal/core"
+	"distlouvain/internal/obsv"
+	"distlouvain/internal/supervisor"
+)
+
+// remoteOptions carries the tcp-remote flag values from main.
+type remoteOptions struct {
+	coord         string // coordinator address
+	job           string // job id shared with the host agents
+	bin           string // dlouvain binary path on the agent hosts
+	controlListen string // beacon listen address (must be host-reachable)
+}
+
+// remoteLauncher implements supervisor.Launcher over the coordinator's
+// control channel.
+type remoteLauncher struct {
+	opts        remoteOptions
+	graph       string
+	dir         string // working directory sent with spawns
+	passthrough []string
+	faultArgs   []string
+	chaos       chaosSpec
+	logf        func(format string, args ...any)
+
+	mu     sync.Mutex
+	ctrl   *coord.Controller
+	hosts  map[string]int // live host -> slots
+	synced chan struct{}  // closed once the membership snapshot is in
+	cur    *remoteAttempt
+}
+
+// ensureController dials the coordinator's control channel if the previous
+// connection is gone, waiting until the host-membership snapshot arrives.
+func (l *remoteLauncher) ensureController() error {
+	l.mu.Lock()
+	if l.ctrl != nil {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	ctrl, err := coord.DialController(l.opts.coord, l.opts.job, 0)
+	if err != nil {
+		return fmt.Errorf("attach to coordinator %s: %w", l.opts.coord, err)
+	}
+	synced := make(chan struct{})
+	l.mu.Lock()
+	l.ctrl = ctrl
+	l.hosts = make(map[string]int)
+	l.synced = synced
+	l.mu.Unlock()
+	go l.route(ctrl, synced)
+	select {
+	case <-synced:
+		return nil
+	case <-time.After(30 * time.Second):
+		ctrl.Close()
+		return fmt.Errorf("coordinator %s sent no membership snapshot", l.opts.coord)
+	}
+}
+
+// route consumes one controller connection's event stream: membership
+// updates mutate the host map, exits go to the current attempt, and the
+// stream's death fails the attempt retryably (the next launch re-dials).
+func (l *remoteLauncher) route(ctrl *coord.Controller, synced chan struct{}) {
+	for ev := range ctrl.Events {
+		switch ev.Kind {
+		case coord.EventHost:
+			l.mu.Lock()
+			l.hosts[ev.Host] = ev.Slots
+			l.mu.Unlock()
+			l.logf("host %q joined (%d slots)", ev.Host, ev.Slots)
+		case coord.EventHostLost:
+			l.mu.Lock()
+			delete(l.hosts, ev.Host)
+			l.mu.Unlock()
+			l.logf("coordinator condemned host %q: %s", ev.Host, ev.Err)
+		case coord.EventSync:
+			select {
+			case <-synced:
+			default:
+				close(synced)
+			}
+		case coord.EventExit:
+			// A synthetic host-lost exit precedes its EventHostLost on the
+			// wire; drop the host now so a relaunch that races the next
+			// event cannot place ranks on the corpse.
+			if ev.Code == -1 && ev.Host != "" && ev.Err != "" &&
+				len(ev.Err) >= 9 && ev.Err[:9] == "host lost" {
+				l.mu.Lock()
+				delete(l.hosts, ev.Host)
+				l.mu.Unlock()
+			}
+			l.mu.Lock()
+			cur := l.cur
+			l.mu.Unlock()
+			if cur != nil {
+				cur.exit(ev)
+			}
+		}
+	}
+	l.mu.Lock()
+	dead := l.ctrl == ctrl
+	if dead {
+		l.ctrl = nil
+	}
+	cur := l.cur
+	l.mu.Unlock()
+	if dead && cur != nil {
+		cur.fail("coordinator control channel lost")
+	}
+}
+
+// placement assigns each rank a host, round-robin across the live hosts'
+// slots (sorted by name for determinism), oversubscribing when a relaunch
+// must fit the world onto fewer survivors.
+func (l *remoteLauncher) placement(ranks int, deadline time.Duration) ([]string, error) {
+	limit := time.Now().Add(deadline)
+	for {
+		l.mu.Lock()
+		names := make([]string, 0, len(l.hosts))
+		for h := range l.hosts {
+			names = append(names, h)
+		}
+		sort.Strings(names)
+		var slots []string
+		for _, h := range names {
+			for i := 0; i < l.hosts[h]; i++ {
+				slots = append(slots, h)
+			}
+		}
+		l.mu.Unlock()
+		if len(slots) > 0 {
+			if len(slots) < ranks {
+				l.logf("oversubscribing: %d ranks on %d slot(s) across %d host(s)", ranks, len(slots), len(names))
+			}
+			placed := make([]string, ranks)
+			for r := range placed {
+				placed[r] = slots[r%len(slots)]
+			}
+			return placed, nil
+		}
+		if time.Now().After(limit) {
+			return nil, fmt.Errorf("no registered hosts for job %q after %v", l.opts.job, deadline)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (l *remoteLauncher) Launch(spec supervisor.LaunchSpec, beacons func(supervisor.Beacon)) (supervisor.Attempt, error) {
+	if err := l.ensureController(); err != nil {
+		return nil, err
+	}
+	placed, err := l.placement(spec.Ranks, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	// Epoch = attempt + 1: every relaunch seals a fresh generation, so the
+	// previous attempt's stragglers are fenced instead of joining the mesh.
+	epoch := spec.Attempt + 1
+	a := &remoteAttempt{
+		l:         l,
+		live:      make(map[string]int, spec.Ranks),
+		rankID:    make(map[int]string, spec.Ranks),
+		retryable: true,
+		done:      make(chan struct{}),
+	}
+	for r := 0; r < spec.Ranks; r++ {
+		id := fmt.Sprintf("e%d-r%d", epoch, r)
+		a.live[id] = r
+		a.rankID[r] = id
+	}
+	sink := beacons
+	if l.chaos.active() && l.chaos.armed(spec.Attempt) {
+		var killOnce, stopOnce sync.Once
+		sink = func(b supervisor.Beacon) {
+			a.maybeChaos(&killOnce, &stopOnce, b)
+			beacons(b)
+		}
+	}
+	srv, err := supervisor.ListenBeacons(l.opts.controlListen, sink)
+	if err != nil {
+		return nil, err
+	}
+	a.srv = srv
+	l.mu.Lock()
+	l.cur = a
+	ctrl := l.ctrl
+	l.mu.Unlock()
+	env := []string{supervisor.EnvBeaconAddr + "=" + srv.Addr()}
+	for r := 0; r < spec.Ranks; r++ {
+		args := []string{l.opts.bin, "-transport", "tcp",
+			"-coord", l.opts.coord, "-coord-job", l.opts.job,
+			"-coord-epoch", fmt.Sprint(epoch),
+			"-rank", fmt.Sprint(r), "-np", fmt.Sprint(spec.Ranks)}
+		args = append(args, l.passthrough...)
+		if l.chaos.armed(spec.Attempt) {
+			args = append(args, l.faultArgs...)
+		}
+		if spec.Resume {
+			args = append(args, "-resume")
+		}
+		args = append(args, l.graph)
+		l.logf("attempt %d: rank %d -> host %s (spawn %s)", spec.Attempt, r, placed[r], a.rankID[r])
+		if err := ctrl.Spawn(placed[r], a.rankID[r], args, l.dir, env); err != nil {
+			a.fail(fmt.Sprintf("spawn rank %d on %s: %v", r, placed[r], err))
+			return a, nil
+		}
+	}
+	return a, nil
+}
+
+// maybeChaos mirrors procLauncher's beacon-driven fault injection, but the
+// signal travels through the coordinator to whichever host runs the rank.
+func (a *remoteAttempt) maybeChaos(killOnce, stopOnce *sync.Once, b supervisor.Beacon) {
+	if b.Kind != supervisor.KindPhaseStart && b.Kind != supervisor.KindIteration {
+		return
+	}
+	l := a.l
+	if b.Rank == l.chaos.killRank && b.Phase >= l.chaos.killPhase {
+		killOnce.Do(func() {
+			l.logf("chaos: SIGKILL rank %d (spawn %s) at phase %d", b.Rank, a.rankID[b.Rank], b.Phase)
+			a.signalRank(b.Rank, syscall.SIGKILL)
+		})
+	}
+	if b.Rank == l.chaos.stopRank && b.Phase >= l.chaos.stopPhase {
+		stopOnce.Do(func() {
+			l.logf("chaos: SIGSTOP rank %d (spawn %s) at phase %d", b.Rank, a.rankID[b.Rank], b.Phase)
+			a.signalRank(b.Rank, syscall.SIGSTOP)
+		})
+	}
+}
+
+// remoteAttempt is one placed world. Exits arrive via the launcher's event
+// router; Kill/Interrupt travel back through the coordinator as signals. A
+// wedged host cannot block Wait forever: its lease expires, the coordinator
+// synthesizes exits for its spawns, and the attempt completes.
+type remoteAttempt struct {
+	l   *remoteLauncher
+	srv *supervisor.BeaconServer
+
+	mu        sync.Mutex
+	live      map[string]int // spawn id -> rank, pending only
+	rankID    map[int]string // rank -> spawn id (stable for the attempt)
+	fails     []string
+	retryable bool
+	err       error
+	finished  bool
+	done      chan struct{}
+
+	killOnce, intOnce sync.Once
+}
+
+func (a *remoteAttempt) exit(ev coord.Event) {
+	a.mu.Lock()
+	r, ok := a.live[ev.ID]
+	if !ok {
+		a.mu.Unlock()
+		return // another attempt's spawn, or a duplicate report
+	}
+	delete(a.live, ev.ID)
+	if ev.Code != 0 {
+		where := ev.Host
+		if where == "" {
+			where = "?"
+		}
+		msg := fmt.Sprintf("rank %d on %s: exit %d", r, where, ev.Code)
+		if ev.Err != "" {
+			msg += " (" + ev.Err + ")"
+		}
+		a.fails = append(a.fails, msg)
+		// Exit 3 is the retryable protocol code; -1 is a signal death or a
+		// condemned host's synthetic exit — a lost peer, also retryable.
+		if ev.Code != exitRetryable && ev.Code != -1 {
+			a.retryable = false
+		}
+	}
+	remaining := len(a.live)
+	a.mu.Unlock()
+	if remaining == 0 {
+		a.finish()
+	}
+}
+
+// fail terminates the attempt early (controller lost, spawn write failed):
+// whatever ranks are still out there will be fenced by the next epoch.
+func (a *remoteAttempt) fail(why string) {
+	a.mu.Lock()
+	if a.finished {
+		a.mu.Unlock()
+		return
+	}
+	a.fails = append(a.fails, why)
+	a.live = map[string]int{}
+	a.mu.Unlock()
+	a.finish()
+}
+
+func (a *remoteAttempt) finish() {
+	a.mu.Lock()
+	if a.finished {
+		a.mu.Unlock()
+		return
+	}
+	a.finished = true
+	if len(a.fails) > 0 {
+		msg := a.fails[0]
+		for _, f := range a.fails[1:] {
+			msg += "; " + f
+		}
+		a.err = &childrenError{msg: msg, retryable: a.retryable}
+	}
+	a.mu.Unlock()
+	a.l.mu.Lock()
+	if a.l.cur == a {
+		a.l.cur = nil
+	}
+	a.l.mu.Unlock()
+	a.srv.Close()
+	close(a.done)
+}
+
+func (a *remoteAttempt) Wait() error { <-a.done; return a.err }
+
+func (a *remoteAttempt) signalRank(rank int, sig syscall.Signal) {
+	a.l.mu.Lock()
+	ctrl := a.l.ctrl
+	a.l.mu.Unlock()
+	if ctrl == nil {
+		return
+	}
+	a.mu.Lock()
+	id, ok := a.rankID[rank]
+	_, pending := a.live[id]
+	a.mu.Unlock()
+	if ok && pending {
+		ctrl.Signal(id, int(sig))
+	}
+}
+
+func (a *remoteAttempt) signalAll(sig syscall.Signal) {
+	a.l.mu.Lock()
+	ctrl := a.l.ctrl
+	a.l.mu.Unlock()
+	if ctrl == nil {
+		return
+	}
+	a.mu.Lock()
+	ids := make([]string, 0, len(a.live))
+	for id := range a.live {
+		ids = append(ids, id)
+	}
+	a.mu.Unlock()
+	for _, id := range ids {
+		ctrl.Signal(id, int(sig))
+	}
+}
+
+func (a *remoteAttempt) Kill()      { a.killOnce.Do(func() { a.signalAll(syscall.SIGKILL) }) }
+func (a *remoteAttempt) Interrupt() { a.intOnce.Do(func() { a.signalAll(syscall.SIGTERM) }) }
+
+// superviseRemoteTCP supervises a coordinator-placed multi-host world.
+func superviseRemoteTCP(np int, graph string, cfg core.Config, resume bool, opts supOptions, oopts obsOptions, ropts remoteOptions) {
+	if ropts.bin == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ropts.bin = exe
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	reg := obsv.NewRegistry(0)
+	startPprof(oopts.pprofAddr, reg)
+	var passthrough, faultArgs []string
+	flagVisitChildArgs(func(name, val string) { passthrough = append(passthrough, "-"+name+"="+val) },
+		func(name, val string) { faultArgs = append(faultArgs, "-"+name+"="+val) })
+	sopts := opts.supervisorOptions(cfg)
+	sopts.OnRestart = func(restarts, ranks int, resume bool, cause error) {
+		reg.BeginGeneration()
+		var res float64
+		if resume {
+			res = 1
+		}
+		reg.RecordEvent("restart", "relaunch", map[string]float64{
+			"restarts": float64(restarts), "ranks": float64(ranks), "resume": res,
+		})
+	}
+	verbose := opts.verbose
+	sopts.OnBeacon = func(b supervisor.Beacon) {
+		reg.RecordEvent("beacon", string(b.Kind), map[string]float64{
+			"rank": float64(b.Rank), "phase": float64(b.Phase),
+			"iter": float64(b.Iteration), "q": b.Modularity,
+		})
+		if verbose {
+			fmt.Fprintf(os.Stderr, "dlouvain: beacon %+v\n", b)
+		}
+	}
+	l := &remoteLauncher{
+		opts: ropts, graph: graph, dir: dir,
+		passthrough: passthrough, faultArgs: faultArgs,
+		chaos: opts.chaos, logf: sopts.Logf,
+	}
+	sup := supervisor.New(l, sopts)
+	trapInterrupt(func(os.Signal) {
+		fmt.Fprintln(os.Stderr, "dlouvain: interrupt: checkpointing at the next phase boundary")
+		sup.Interrupt()
+	})
+	if err := sup.Run(np, resume); err != nil {
+		runFailf(err, "%v", err)
+	}
+	os.Exit(0)
+}
+
+// flagVisitChildArgs walks the set flags and splits them into child
+// passthrough args and fault-injection args (forwarded on armed attempts
+// only), excluding everything that belongs to the driver itself.
+func flagVisitChildArgs(pass func(name, val string), fault func(name, val string)) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "transport", "np", "rank", "hosts", "supervise", "resume",
+			"max-restarts", "backoff", "min-ranks", "hang-min", "hang-max", "poll",
+			"chaos-kill-rank", "chaos-kill-phase", "chaos-stop-rank", "chaos-stop-phase",
+			"chaos-all-attempts", "pprof-addr",
+			"coord", "coord-job", "coord-epoch", "listen", "advertise",
+			"host-agent", "agent-host", "slots", "agent-advertise",
+			"remote-bin", "control-listen":
+			// Driver-side flags: topology and supervision stay with the
+			// parent; -coord/-coord-job/-coord-epoch are re-issued per
+			// attempt with that attempt's epoch; -listen/-advertise are
+			// per-host decisions the agents make (-agent-advertise).
+		case "fault-seed", "fault-drop", "fault-dup", "fault-delay", "fault-kill-after":
+			fault(f.Name, f.Value.String())
+		default:
+			pass(f.Name, f.Value.String())
+		}
+	})
+}

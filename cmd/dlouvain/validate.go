@@ -6,6 +6,8 @@ package main
 import (
 	"errors"
 	"fmt"
+	"net"
+	"strings"
 
 	"distlouvain/internal/mpi"
 )
@@ -24,13 +26,32 @@ type flagValues struct {
 	minRanks    int
 	maxRestarts int
 	transport   string
+	hosts       string
+	rank        int
+	coord       string
+	coordEpoch  int
+	hostAgent   bool
+	agentSlots  int
 }
 
 // validateFlags rejects flag combinations that cannot describe a valid run.
 // It reports the FIRST violation: one clear complaint beats a wall of them.
 func validateFlags(v flagValues) error {
-	if v.transport != "inproc" && v.transport != "tcp" && v.transport != "tcp-local" {
-		return fmt.Errorf("unknown -transport %q (want inproc, tcp, or tcp-local)", v.transport)
+	if v.hostAgent {
+		// Host-agent mode executes ranks on a driver's behalf; none of the
+		// run-shaping flags below apply to it.
+		if v.coord == "" {
+			return errors.New("-host-agent requires -coord: the agent registers with the coordinator")
+		}
+		if v.agentSlots < 1 {
+			return fmt.Errorf("-slots must be >= 1 (got %d)", v.agentSlots)
+		}
+		return nil
+	}
+	switch v.transport {
+	case "inproc", "tcp", "tcp-local", "tcp-remote":
+	default:
+		return fmt.Errorf("unknown -transport %q (want inproc, tcp, tcp-local, or tcp-remote)", v.transport)
 	}
 	if v.np < 1 {
 		return fmt.Errorf("-np must be >= 1 (got %d)", v.np)
@@ -55,7 +76,36 @@ func validateFlags(v flagValues) error {
 	if v.ckptKeep < 1 {
 		return fmt.Errorf("-ckpt-keep must be >= 1 (got %d)", v.ckptKeep)
 	}
-	if v.supervise {
+	if v.coord != "" && v.hosts != "" {
+		return errors.New("-coord and -hosts are mutually exclusive: the coordinator discovers membership, a host list pins it")
+	}
+	switch v.transport {
+	case "tcp":
+		switch {
+		case v.coord != "":
+			if v.coordEpoch < 1 {
+				return fmt.Errorf("-coord-epoch must be >= 1 (got %d)", v.coordEpoch)
+			}
+			if v.rank < 0 || v.rank >= v.np {
+				return fmt.Errorf("-rank %d out of range [0,%d) of the -np world", v.rank, v.np)
+			}
+		case v.hosts != "":
+			addrs := strings.Split(v.hosts, ",")
+			if err := validateHostList(addrs); err != nil {
+				return err
+			}
+			if v.rank < 0 || v.rank >= len(addrs) {
+				return fmt.Errorf("-rank %d out of range [0,%d) of the -hosts list", v.rank, len(addrs))
+			}
+		default:
+			return errors.New("-transport tcp needs -hosts or -coord")
+		}
+	case "tcp-remote":
+		if v.coord == "" {
+			return errors.New("-transport tcp-remote requires -coord: ranks are placed on coordinator-registered hosts")
+		}
+	}
+	if v.supervise || v.transport == "tcp-remote" {
 		if v.minRanks < 1 {
 			return fmt.Errorf("-min-ranks must be >= 1 (got %d)", v.minRanks)
 		}
@@ -65,6 +115,25 @@ func validateFlags(v flagValues) error {
 		if v.maxRestarts < 0 {
 			return errors.New("-max-restarts must be non-negative")
 		}
+	}
+	return nil
+}
+
+// validateHostList rejects -hosts entries that are not host:port or that
+// repeat an address: two ranks cannot share one listener, and a duplicate is
+// almost always a copy-paste error that would otherwise surface as a
+// baffling rendezvous hang.
+func validateHostList(addrs []string) error {
+	seen := make(map[string]struct{}, len(addrs))
+	for i, a := range addrs {
+		host, port, err := net.SplitHostPort(a)
+		if err != nil || host == "" || port == "" {
+			return fmt.Errorf("-hosts entry %d (%q) is not host:port", i, a)
+		}
+		if _, dup := seen[a]; dup {
+			return fmt.Errorf("-hosts entry %d (%q) duplicates an earlier entry: every rank needs its own listener", i, a)
+		}
+		seen[a] = struct{}{}
 	}
 	return nil
 }

@@ -11,7 +11,7 @@ func valid() flagValues {
 		np: 4, threads: 1, alpha: 0.25, tau: 0,
 		wireFmt: 0, ckptEvery: 1, ckptKeep: 2,
 		supervise: false, minRanks: 1, maxRestarts: 5,
-		transport: "inproc",
+		transport: "inproc", coordEpoch: 1, agentSlots: 1,
 	}
 }
 
@@ -44,6 +44,59 @@ func TestValidateFlagsRejections(t *testing.T) {
 		{"alpha above one", func(v *flagValues) { v.alpha = 1.5 }, "-alpha"},
 		{"negative tau", func(v *flagValues) { v.tau = -1e-6 }, "-tau"},
 		{"unknown transport", func(v *flagValues) { v.transport = "carrier-pigeon" }, "-transport"},
+
+		// Topology flags: -hosts hygiene, -rank bounds, -coord exclusivity.
+		{"tcp without hosts or coord", func(v *flagValues) { v.transport = "tcp" }, "-hosts or -coord"},
+		{"coord with hosts", func(v *flagValues) {
+			v.transport = "tcp"
+			v.coord = "127.0.0.1:9470"
+			v.hosts = "127.0.0.1:7000,127.0.0.1:7001"
+		}, "mutually exclusive"},
+		{"hosts entry without port", func(v *flagValues) {
+			v.transport = "tcp"
+			v.hosts = "127.0.0.1:7000,127.0.0.1"
+		}, "not host:port"},
+		{"empty hosts entry", func(v *flagValues) {
+			v.transport = "tcp"
+			v.hosts = "127.0.0.1:7000,,127.0.0.1:7001"
+		}, "not host:port"},
+		{"duplicate hosts entry", func(v *flagValues) {
+			v.transport = "tcp"
+			v.hosts = "127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7000"
+		}, "duplicates"},
+		{"rank beyond hosts list", func(v *flagValues) {
+			v.transport = "tcp"
+			v.hosts = "127.0.0.1:7000,127.0.0.1:7001"
+			v.rank = 2
+		}, "-rank"},
+		{"negative rank", func(v *flagValues) {
+			v.transport = "tcp"
+			v.hosts = "127.0.0.1:7000,127.0.0.1:7001"
+			v.rank = -1
+		}, "-rank"},
+		{"rank beyond np under coord", func(v *flagValues) {
+			v.transport = "tcp"
+			v.coord = "127.0.0.1:9470"
+			v.rank = 4
+			v.np = 4
+		}, "-rank"},
+		{"zero coord-epoch", func(v *flagValues) {
+			v.transport = "tcp"
+			v.coord = "127.0.0.1:9470"
+			v.coordEpoch = 0
+		}, "-coord-epoch"},
+		{"tcp-remote without coord", func(v *flagValues) { v.transport = "tcp-remote" }, "-coord"},
+		{"tcp-remote min-ranks over np", func(v *flagValues) {
+			v.transport = "tcp-remote"
+			v.coord = "127.0.0.1:9470"
+			v.minRanks = 9
+		}, "-min-ranks"},
+		{"host-agent without coord", func(v *flagValues) { v.hostAgent = true }, "-coord"},
+		{"host-agent zero slots", func(v *flagValues) {
+			v.hostAgent = true
+			v.coord = "127.0.0.1:9470"
+			v.agentSlots = 0
+		}, "-slots"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -55,6 +108,44 @@ func TestValidateFlagsRejections(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("complaint %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// The topology combinations that must pass: a clean host list, a coord
+// rendezvous rank, a coord-placed driver, and a host agent.
+func TestValidateFlagsAcceptsTopologies(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*flagValues)
+	}{
+		{"tcp with hosts", func(v *flagValues) {
+			v.transport = "tcp"
+			v.hosts = "127.0.0.1:7000,127.0.0.1:7001,10.0.0.2:7000"
+			v.rank = 2
+		}},
+		{"tcp with coord", func(v *flagValues) {
+			v.transport = "tcp"
+			v.coord = "127.0.0.1:9470"
+			v.rank = 3
+		}},
+		{"tcp-remote driver", func(v *flagValues) {
+			v.transport = "tcp-remote"
+			v.coord = "127.0.0.1:9470"
+		}},
+		{"host agent", func(v *flagValues) {
+			v.hostAgent = true
+			v.coord = "127.0.0.1:9470"
+			v.agentSlots = 4
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := valid()
+			tc.mut(&v)
+			if err := validateFlags(v); err != nil {
+				t.Fatalf("valid topology rejected: %v", err)
 			}
 		})
 	}

@@ -1,0 +1,89 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayGrowthAndJitterBounds(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Seed: 7}
+	ceil := p.Base
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := p.Delay(attempt)
+		if d < ceil/2 || d >= ceil {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, ceil/2, ceil)
+		}
+		if ceil < p.Max {
+			ceil *= 2
+			if ceil > p.Max {
+				ceil = p.Max
+			}
+		}
+	}
+}
+
+func TestDelayDeterministicInSeed(t *testing.T) {
+	a := Policy{Base: 50 * time.Millisecond, Seed: 3}
+	b := Policy{Base: 50 * time.Millisecond, Seed: 3}
+	c := Policy{Base: 50 * time.Millisecond, Seed: 4}
+	var diverged bool
+	for k := 1; k <= 16; k++ {
+		if a.Delay(k) != b.Delay(k) {
+			t.Fatalf("attempt %d: same seed, different delay", k)
+		}
+		if a.Delay(k) != c.Delay(k) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 3 and 4 produced identical 16-delay schedules")
+	}
+}
+
+func TestDelayClampsBadAttempts(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Seed: 1}
+	if p.Delay(0) != p.Delay(1) || p.Delay(-5) != p.Delay(1) {
+		t.Fatal("attempts below 1 must be treated as attempt 1")
+	}
+}
+
+func TestZeroPolicyDefaults(t *testing.T) {
+	var p Policy
+	d := p.Delay(1)
+	if d < 50*time.Millisecond || d >= 100*time.Millisecond {
+		t.Fatalf("zero policy first delay %v, want within [50ms, 100ms)", d)
+	}
+	// Max below Base is lifted to Base: the schedule must stay within
+	// [Base/2, Base) forever instead of inverting.
+	q := Policy{Base: time.Second, Max: time.Millisecond, Seed: 2}
+	for k := 1; k < 6; k++ {
+		if d := q.Delay(k); d < 500*time.Millisecond || d >= time.Second {
+			t.Fatalf("attempt %d: delay %v escaped [500ms, 1s)", k, d)
+		}
+	}
+}
+
+func TestSleeperDeadlineTruncation(t *testing.T) {
+	s := NewSleeper(Policy{Base: time.Hour, Seed: 1})
+	start := time.Now()
+	if s.Sleep(time.Now().Add(10 * time.Millisecond)) {
+		t.Fatal("an hour-long delay reported as fitting a 10ms deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("refusing Sleep still blocked for %v", elapsed)
+	}
+	if s.Attempt() != 1 {
+		t.Fatalf("attempt = %d after one Sleep, want 1", s.Attempt())
+	}
+}
+
+func TestSleeperZeroDeadlineSleeps(t *testing.T) {
+	s := NewSleeper(Policy{Base: time.Millisecond, Max: time.Millisecond, Seed: 9})
+	start := time.Now()
+	if !s.Sleep(time.Time{}) {
+		t.Fatal("zero deadline must always sleep")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("1ms-capped sleep took over a second")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"distlouvain/internal/backoff"
 )
 
 // tcpFrameHeader is [tag int32][length uint32]; the sender's rank is
@@ -37,6 +39,15 @@ type TCPWorldConfig struct {
 	// ConnectDeadline. Zero values select 2s and 30s respectively.
 	DialTimeout     time.Duration
 	ConnectDeadline time.Duration
+	// Fence, when non-zero, selects the fenced handshake: the dialer
+	// announces [rank int32][fence uint64] and the acceptor answers with one
+	// accept/reject byte. Both sides must present the same token — the
+	// coordinator's generation for this incarnation of the world — or the
+	// connection is refused: the acceptor drops it without consuming a
+	// rendezvous slot, and the dialer fails typed with *ErrFenced instead of
+	// joining (or hanging on) a world it no longer belongs to. Zero keeps
+	// the legacy 4-byte handshake for hand-written -hosts worlds.
+	Fence uint64
 }
 
 // tcpEndpoint implements Transport over a full mesh of TCP connections.
@@ -178,6 +189,92 @@ func DialTCPWorld(cfg TCPWorldConfig) (Transport, error) {
 	if err := checkPeer(cfg.Rank, size, "DialTCPWorld"); err != nil {
 		return nil, err
 	}
+	var ln net.Listener
+	if size > 1 {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("mpi: rank %d listen %s: %w", cfg.Rank, cfg.Addrs[cfg.Rank], err)
+		}
+	}
+	return dialMesh(cfg, ln)
+}
+
+// acceptHandshake validates one inbound connection. A rejected dialer — a
+// stale rank presenting a superseded fence, a rank id out of range, garbage
+// bytes, or a connection that never completes the handshake — is closed and
+// reported as !ok WITHOUT failing the rendezvous: the caller keeps accepting,
+// so a stray connection cannot corrupt a live world's formation.
+func acceptHandshake(conn net.Conn, cfg TCPWorldConfig, hsTimeout time.Duration) (peer int, ok bool) {
+	conn.SetDeadline(time.Now().Add(hsTimeout))
+	n := 4
+	if cfg.Fence != 0 {
+		n = 12
+	}
+	hs := make([]byte, n)
+	if _, err := io.ReadFull(conn, hs); err != nil {
+		conn.Close()
+		return 0, false
+	}
+	peer = int(int32(binary.LittleEndian.Uint32(hs[:4])))
+	ok = peer > cfg.Rank && peer < len(cfg.Addrs)
+	if cfg.Fence != 0 {
+		if binary.LittleEndian.Uint64(hs[4:12]) != cfg.Fence {
+			ok = false
+		}
+		ack := byte(0)
+		if ok {
+			ack = 1
+		}
+		if _, err := conn.Write([]byte{ack}); err != nil {
+			ok = false
+		}
+	}
+	if !ok {
+		conn.Close()
+		return 0, false
+	}
+	conn.SetDeadline(time.Time{})
+	return peer, true
+}
+
+// dialHandshake announces this rank on an outbound connection. fenced
+// reports a definitive rejection (the acceptor answered the fenced handshake
+// with a reject byte): terminal, no point retrying.
+func dialHandshake(conn net.Conn, cfg TCPWorldConfig, end time.Time) (err error, fenced bool) {
+	conn.SetDeadline(end)
+	if cfg.Fence == 0 {
+		var hs [4]byte
+		binary.LittleEndian.PutUint32(hs[:], uint32(int32(cfg.Rank)))
+		if _, err := conn.Write(hs[:]); err != nil {
+			return err, false
+		}
+		conn.SetDeadline(time.Time{})
+		return nil, false
+	}
+	var hs [12]byte
+	binary.LittleEndian.PutUint32(hs[:4], uint32(int32(cfg.Rank)))
+	binary.LittleEndian.PutUint64(hs[4:12], cfg.Fence)
+	if _, err := conn.Write(hs[:]); err != nil {
+		return err, false
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		return err, false
+	}
+	if ack[0] != 1 {
+		return nil, true
+	}
+	conn.SetDeadline(time.Time{})
+	return nil, false
+}
+
+// dialMesh performs the full-mesh rendezvous over an already-bound listener
+// (owned by the returned endpoint from here on, including on error).
+// DialTCPWorld binds the listener from the address list; DialCoordWorld
+// binds it before registering so it can advertise the kernel-chosen port.
+func dialMesh(cfg TCPWorldConfig, ln net.Listener) (*tcpEndpoint, error) {
+	size := len(cfg.Addrs)
 	dialTimeout := cfg.DialTimeout
 	if dialTimeout <= 0 {
 		dialTimeout = 2 * time.Second
@@ -188,20 +285,15 @@ func DialTCPWorld(cfg TCPWorldConfig) (Transport, error) {
 	}
 
 	ep := &tcpEndpoint{
-		rank:    cfg.Rank,
-		size:    size,
-		queue:   newMatchQueue(),
-		writers: make([]*tcpWriter, size),
+		rank:     cfg.Rank,
+		size:     size,
+		queue:    newMatchQueue(),
+		writers:  make([]*tcpWriter, size),
+		listener: ln,
 	}
 	if size == 1 {
 		return ep, nil
 	}
-
-	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
-	if err != nil {
-		return nil, fmt.Errorf("mpi: rank %d listen %s: %w", cfg.Rank, cfg.Addrs[cfg.Rank], err)
-	}
-	ep.listener = ln
 
 	type dialed struct {
 		peer int
@@ -209,10 +301,11 @@ func DialTCPWorld(cfg TCPWorldConfig) (Transport, error) {
 		err  error
 	}
 	// Exactly size-1 results are always delivered: the accept goroutine
-	// reports every slot (continuing past per-connection handshake errors)
-	// and each dial goroutine reports its own. That fixed count is what lets
-	// the error path below drain and close stragglers instead of leaking
-	// connections delivered after an early return.
+	// reports one slot per successful handshake (rejected connections are
+	// closed and NOT counted) and fills every remaining slot when the
+	// listener dies, and each dial goroutine reports its own. That fixed
+	// count is what lets the error path below drain and close stragglers
+	// instead of leaking connections delivered after an early return.
 	results := make(chan dialed, size)
 
 	// Accept from higher-ranked peers. The listener deadline makes a rank
@@ -222,30 +315,23 @@ func DialTCPWorld(cfg TCPWorldConfig) (Transport, error) {
 	}
 	nAccept := size - 1 - cfg.Rank
 	go func() {
-		for i := 0; i < nAccept; i++ {
+		accepted := 0
+		for accepted < nAccept {
 			conn, err := ln.Accept()
 			if err != nil {
 				// Listener broken (or closed by the error path); no more
 				// connections are coming — report every remaining slot.
-				for ; i < nAccept; i++ {
+				for ; accepted < nAccept; accepted++ {
 					results <- dialed{err: fmt.Errorf("mpi: rank %d accept: %w", cfg.Rank, err)}
 				}
 				return
 			}
-			// Handshake: the dialer announces its rank.
-			var hs [4]byte
-			if _, err := io.ReadFull(conn, hs[:]); err != nil {
-				conn.Close()
-				results <- dialed{err: fmt.Errorf("mpi: rank %d handshake read: %w", cfg.Rank, err)}
-				continue
-			}
-			peer := int(int32(binary.LittleEndian.Uint32(hs[:])))
-			if peer <= cfg.Rank || peer >= size {
-				conn.Close()
-				results <- dialed{err: fmt.Errorf("mpi: rank %d unexpected handshake from rank %d", cfg.Rank, peer)}
+			peer, ok := acceptHandshake(conn, cfg, dialTimeout)
+			if !ok {
 				continue
 			}
 			results <- dialed{peer: peer, conn: conn}
+			accepted++
 		}
 	}()
 
@@ -253,42 +339,37 @@ func DialTCPWorld(cfg TCPWorldConfig) (Transport, error) {
 	// ranks that start listening at slightly different times. Retries back
 	// off exponentially with jitter: a supervised world relaunching after a
 	// failure has every rank redialing at once, and a fixed-interval spin
-	// would hammer a listener that is slow to come back in lockstep.
+	// would hammer a listener that is slow to come back in lockstep. The
+	// jitter stream is seeded per (rank, peer) so the world's retry
+	// schedules decorrelate without global RNG state.
 	for peer := 0; peer < cfg.Rank; peer++ {
 		go func(peer int) {
 			var lastErr error
 			end := time.Now().Add(deadline)
-			backoff := 10 * time.Millisecond
-			const maxDialBackoff = 2 * time.Second
-			// Private splitmix64 stream: distinct per (rank, peer) so the
-			// world's retry schedules decorrelate without global RNG state.
-			jrng := (uint64(cfg.Rank)<<32 | uint64(peer)) * 0x9e3779b97f4a7c15
+			sl := backoff.NewSleeper(backoff.Policy{
+				Base: 10 * time.Millisecond,
+				Max:  2 * time.Second,
+				Seed: (uint64(cfg.Rank)<<32|uint64(peer))*0x9e3779b97f4a7c15 | 1,
+			})
 			for {
 				conn, err := net.DialTimeout("tcp", cfg.Addrs[peer], dialTimeout)
 				if err == nil {
-					var hs [4]byte
-					binary.LittleEndian.PutUint32(hs[:], uint32(int32(cfg.Rank)))
-					if _, err = conn.Write(hs[:]); err == nil {
+					var fenced bool
+					err, fenced = dialHandshake(conn, cfg, end)
+					if err == nil && !fenced {
 						results <- dialed{peer: peer, conn: conn}
 						return
 					}
 					conn.Close()
+					if fenced {
+						results <- dialed{err: fmt.Errorf("mpi: rank %d dial rank %d (%s): %w",
+							cfg.Rank, peer, cfg.Addrs[peer], &ErrFenced{Rank: cfg.Rank, Fence: cfg.Fence})}
+						return
+					}
 				}
 				lastErr = err
-				jrng += 0x9e3779b97f4a7c15
-				z := jrng
-				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-				z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-				z ^= z >> 31
-				// Sleep uniformly in [backoff/2, backoff), truncated at the
-				// rendezvous deadline.
-				sleep := backoff/2 + time.Duration(z%uint64(backoff/2))
-				if remaining := time.Until(end); sleep >= remaining {
+				if !sl.Sleep(end) {
 					break
-				}
-				time.Sleep(sleep)
-				if backoff *= 2; backoff > maxDialBackoff {
-					backoff = maxDialBackoff
 				}
 			}
 			results <- dialed{err: fmt.Errorf("mpi: rank %d dial rank %d (%s): %w", cfg.Rank, peer, cfg.Addrs[peer], lastErr)}

@@ -63,6 +63,30 @@ func (e *ErrPeerLost) Error() string {
 
 func (e *ErrPeerLost) Unwrap() error { return e.Cause }
 
+// ErrFenced is the terminal error of a rank whose generation token has been
+// superseded: a newer incarnation of its world sealed while it was
+// partitioned away or stalled. It surfaces in two places — a mesh dial whose
+// fenced handshake the acceptor rejected, and (on coordinator-rendezvous
+// worlds) every pending and future Recv after the heartbeat session learns
+// the token is stale. Either way the rank must exit, not retry: the world it
+// belonged to no longer exists, and the fencing is precisely what keeps it
+// from corrupting the one that replaced it. Use errors.As to detect it.
+type ErrFenced struct {
+	Rank  int    // the fenced (stale) rank — this endpoint
+	Fence uint64 // the superseded generation token it presented
+	Cause error  // coordinator-side detail when fenced via heartbeat; may be nil
+}
+
+func (e *ErrFenced) Error() string {
+	msg := fmt.Sprintf("mpi: rank %d fenced: generation %d superseded", e.Rank, e.Fence)
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+func (e *ErrFenced) Unwrap() error { return e.Cause }
+
 // errTimeout builds the error of a receive that exceeded its deadline. It
 // wraps os.ErrDeadlineExceeded so callers can test with errors.Is.
 func errTimeout(op string, from, tag int, d time.Duration) error {

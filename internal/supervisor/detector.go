@@ -235,6 +235,48 @@ func (d *Detector) Suspects(now time.Time) []Suspect {
 	return out
 }
 
+// Condemned returns the set of ranks to blame for a hang at time now, or
+// nil when no rank has crossed its window yet. It is Suspects plus every
+// live rank that has been beacon-silent at least as long as the
+// longest-silent suspect, ordered by silence descending.
+//
+// The extra ranks are the fix for the post-mortem mis-attribution PR 5
+// observed: the rank that actually hangs often has a *wider* adaptive
+// window than its victims (its beacon cadence was irregular, or it was
+// still in bootstrap), so the peers it leaves blocked in a collective cross
+// into Suspect first. Condemning by earliest-silence ordering puts the
+// original hanger — it stopped beaconing before the ranks it starved — at
+// the head of the diagnosis even while its own window has not expired.
+func (d *Detector) Condemned(now time.Time) []Suspect {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var maxSilent time.Duration
+	hung := false
+	for _, t := range d.ranks {
+		if d.state(t, now) == StateSuspect {
+			hung = true
+			if s := now.Sub(t.last); s > maxSilent {
+				maxSilent = s
+			}
+		}
+	}
+	if !hung {
+		return nil
+	}
+	var out []Suspect
+	for rank, t := range d.ranks {
+		if t.done {
+			continue
+		}
+		silent := now.Sub(t.last)
+		if d.state(t, now) == StateSuspect || silent >= maxSilent {
+			out = append(out, Suspect{Rank: rank, Silent: silent, Window: d.window(t)})
+		}
+	}
+	sortSuspects(out)
+	return out
+}
+
 // Live returns every rank not yet marked Done, with its current silence and
 // window, longest-silent first. A hang kills the whole world, so the
 // post-mortem wants every rank that died with it — including the original

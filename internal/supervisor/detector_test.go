@@ -111,6 +111,74 @@ func TestDetectorSuspectsSortedAndReset(t *testing.T) {
 	}
 }
 
+func TestDetectorCondemnedIncludesEarlierSilentHanger(t *testing.T) {
+	// Regression for the post-mortem mis-attribution flake: rank 0 hangs
+	// while still in bootstrap (wide MaxWindow), so its blocked victim —
+	// rank 1, with a tight learned cadence — crosses into Suspect first.
+	// Suspects alone blames only the victim; Condemned must lead with the
+	// earlier-silent hanger.
+	d := NewDetector(DetectorConfig{MinWindow: time.Millisecond, MaxWindow: 10 * time.Second, Phi: 8})
+	t0 := time.Unix(1000, 0)
+
+	// Rank 0: two beacons only — no cadence model, bootstrap window 10s.
+	d.Observe(0, t0)
+	d.Observe(0, t0.Add(100*time.Millisecond)) // last heard 100ms in
+
+	// Rank 1: steady 100ms cadence → adaptive window 300ms (3·mean).
+	now := t0
+	for i := 0; i < 20; i++ {
+		d.Observe(1, now)
+		now = now.Add(100 * time.Millisecond)
+	}
+	last1 := now.Add(-100 * time.Millisecond) // t0 + 1.9s
+
+	// Rank 2: same cadence but still beaconing — must never be condemned.
+	now = t0
+	for i := 0; i < 30; i++ {
+		d.Observe(2, now)
+		now = now.Add(100 * time.Millisecond)
+	}
+	last2 := now.Add(-100 * time.Millisecond) // t0 + 2.9s
+
+	// No suspect yet: Condemned stays empty even though rank 0 has been
+	// silent for ages relative to the others.
+	if c := d.Condemned(last1.Add(100 * time.Millisecond)); len(c) != 0 {
+		t.Fatalf("condemned before any suspect = %v, want none", c)
+	}
+
+	probe := t0.Add(3 * time.Second)
+	// Sanity: at probe, rank 1 (silent 1.1s > 300ms) is Suspect, rank 0
+	// (silent 2.9s < 10s bootstrap) is not.
+	sus := d.Suspects(probe)
+	if len(sus) != 1 || sus[0].Rank != 1 {
+		t.Fatalf("suspects = %v, want only the victim rank 1", sus)
+	}
+	if st := d.State(0, probe); st == StateSuspect {
+		t.Fatalf("hanger unexpectedly crossed its own window; scenario broken")
+	}
+
+	con := d.Condemned(probe)
+	if len(con) != 2 || con[0].Rank != 0 || con[1].Rank != 1 {
+		t.Fatalf("condemned = %v, want hanger rank 0 first then victim rank 1", con)
+	}
+	if con[0].Silent <= con[1].Silent {
+		t.Fatalf("hanger silence %v not longer than victim's %v", con[0].Silent, con[1].Silent)
+	}
+	for _, s := range con {
+		if s.Rank == 2 {
+			t.Fatalf("live, recently-beaconing rank 2 condemned: %v (silent since %v)", con, probe.Sub(last2))
+		}
+	}
+
+	// A done rank silent since forever is still exempt.
+	d.Done(3, t0)
+	for _, s := range d.Condemned(probe) {
+		if s.Rank == 3 {
+			t.Fatalf("done rank condemned: %v", d.Condemned(probe))
+		}
+	}
+}
+
 func TestDetectorWindowReadaptsAfterRegimeChange(t *testing.T) {
 	// A cadence that abruptly becomes 10x cheaper (coarsened graph) must
 	// shrink the window once the sliding window rolls over.

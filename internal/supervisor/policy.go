@@ -2,6 +2,8 @@ package supervisor
 
 import (
 	"time"
+
+	"distlouvain/internal/backoff"
 )
 
 // Policy governs how the supervisor restarts a failed world: how many times,
@@ -57,24 +59,9 @@ func (p *Policy) fill() {
 // Backoff returns the jittered delay before restart number `restart`
 // (1-based), counted over consecutive failures: BaseBackoff doubling per
 // restart, capped at MaxBackoff, jittered uniformly into [d/2, d). The
-// value is deterministic in (Seed, restart).
+// value is deterministic in (Seed, restart); the schedule itself lives in
+// the shared internal/backoff package.
 func (p Policy) Backoff(restart int) time.Duration {
 	p.fill()
-	if restart < 1 {
-		restart = 1
-	}
-	d := p.BaseBackoff
-	for i := 1; i < restart && d < p.MaxBackoff; i++ {
-		d *= 2
-	}
-	if d > p.MaxBackoff {
-		d = p.MaxBackoff
-	}
-	// splitmix64 over (Seed, restart): stateless, so Backoff is a pure
-	// function the tests can pin down.
-	z := p.Seed + uint64(restart)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return d/2 + time.Duration(z%uint64(d/2))
+	return backoff.Policy{Base: p.BaseBackoff, Max: p.MaxBackoff, Seed: p.Seed}.Delay(restart)
 }

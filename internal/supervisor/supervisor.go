@@ -316,7 +316,11 @@ func (s *Supervisor) monitor(att Attempt) (error, bool) {
 		case err := <-done:
 			return err, false
 		case <-tick.C:
-			sus := s.det.Suspects(time.Now())
+			// Condemned, not Suspects: the hang diagnosis must lead with the
+			// earliest-silent rank (the likely root cause) even when its
+			// adaptive window is wider than its blocked victims' and it has
+			// therefore not technically crossed into Suspect yet.
+			sus := s.det.Condemned(time.Now())
 			if len(sus) == 0 {
 				continue
 			}
