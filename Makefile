@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race test-race-all test-chaos test-wan test-obsv service-smoke golden bench bench-record bench-smoke fuzz experiments experiments-md clean
+.PHONY: all check build vet test test-race test-race-all test-chaos test-wan test-obsv test-frontier cover-core service-smoke golden bench bench-record bench-smoke fuzz experiments experiments-md clean
 
 all: check
 
@@ -59,6 +59,21 @@ test-chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Supervisor|Supervise|Interrupt|Detector|Backoff|Beacon' \
 		./internal/supervisor/... ./internal/core/... ./cmd/dlouvain/...
 
+# The frontier differential suite under the race detector: every
+# graph × variant × rank-count × frontier-mode combination must reproduce
+# the full-scan oracle bit-for-bit (trajectories, modularity bits, final
+# assignment), including kill→resume, thread-count and coloring interplay,
+# plus the frontier.Set unit/property tests.
+test-frontier:
+	$(GO) test -race -count=1 -run 'Frontier' ./internal/core/... ./internal/frontier/... ./internal/service/...
+
+# go vet plus a race-mode coverage run over the algorithm core; prints the
+# per-function coverage table CI publishes as the job summary.
+cover-core:
+	$(GO) vet ./internal/core/...
+	$(GO) test -race -count=1 -covermode=atomic -coverprofile=cover_core.out ./internal/core
+	$(GO) tool cover -func=cover_core.out
+
 # The multi-host WAN chaos suite: coordinator rendezvous, host-agent and
 # tcp-remote driver processes over real TCP sockets, disturbed by whole-host
 # SIGKILL, asymmetric partitions (chaosnet proxy), absent coordinators,
@@ -87,7 +102,8 @@ bench-smoke:
 	$(GO) run ./cmd/paperbench -exp bench -json -kernels=false -check BENCH_paperbench.json > /dev/null
 
 # Short fuzz passes over the input parsers, the checkpoint decoder, the
-# flat kernel tables (vs a map oracle) and the wire-v2 varint codec.
+# flat kernel tables (vs a map oracle), the wire-v2 varint codec and the
+# frontier active-set (vs a map+sort oracle).
 fuzz:
 	$(GO) test ./internal/gio -fuzz FuzzReadEdgeListText -fuzztime 30s
 	$(GO) test ./internal/gio -fuzz FuzzReadHeader -fuzztime 30s
@@ -96,6 +112,7 @@ fuzz:
 	$(GO) test ./internal/flat -fuzz FuzzFlatTable -fuzztime 30s
 	$(GO) test ./internal/flat -fuzz FuzzPairTable -fuzztime 30s
 	$(GO) test ./internal/mpi -fuzz FuzzVarintCodec -fuzztime 30s
+	$(GO) test ./internal/frontier -fuzz FuzzFrontierSet -fuzztime 30s
 
 # Regenerate every table and figure of the paper (text to stdout).
 experiments:

@@ -116,6 +116,8 @@ func main() {
 		pruned     = flag.Bool("pruned-ghosts", false, "legacy fixed-width changed-only ghost updates (superseded by -ghost-delta)")
 		ghostDelta = flag.Bool("ghost-delta", true, "delta-encoded ghost refresh with dense/sparse switching (false forces full snapshots)")
 		sparseThr  = flag.Float64("ghost-sparse-threshold", 0.25, "changed fraction above which a ghost delta frame falls back to a dense snapshot")
+		frontier   = flag.String("frontier", "auto", "frontier-driven sweeps: auto (dense/sparse switching), dense, sparse, or off (full scan every iteration)")
+		frontThr   = flag.Float64("frontier-sparse-threshold", 0.25, "frontier fraction of the partition below which auto uses the sorted id list instead of the bitmap")
 		wireFmt    = flag.Int("wire-format", 0, "wire format to propose (0 = newest; 1 = fixed-width; world negotiates the minimum)")
 		edgeBal    = flag.Bool("edgebalance", false, "edge-balanced input partition instead of even vertex split")
 		neighbor   = flag.Bool("neighbor-coll", false, "use sparse neighborhood collectives for ghost exchange")
@@ -177,6 +179,7 @@ func main() {
 	flag.Parse()
 	if err := validateFlags(flagValues{
 		np: *np, threads: *threads, alpha: *alpha, tau: *tau,
+		frontier: *frontier, frontThr: *frontThr,
 		wireFmt: *wireFmt, ckptEvery: *ckptEvery, ckptKeep: *ckptKeep,
 		supervise: *supervise, minRanks: *minRanks, maxRestarts: *maxRestarts,
 		transport: *transport, hosts: *hosts, rank: *rank,
@@ -218,6 +221,8 @@ func main() {
 		cfg.GhostRefresh = core.GhostDense
 	}
 	cfg.GhostSparseThreshold = *sparseThr
+	cfg.Frontier, _ = core.ParseFrontier(*frontier) // spelling validated by validateFlags
+	cfg.FrontierSparseThreshold = *frontThr
 	cfg.WireFormat = *wireFmt
 	cfg.UseNeighborCollectives = *neighbor
 	cfg.UseColoring = *coloring

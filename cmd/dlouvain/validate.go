@@ -9,6 +9,7 @@ import (
 	"net"
 	"strings"
 
+	"distlouvain/internal/core"
 	"distlouvain/internal/mpi"
 )
 
@@ -19,6 +20,8 @@ type flagValues struct {
 	threads     int
 	alpha       float64
 	tau         float64
+	frontier    string
+	frontThr    float64
 	wireFmt     int
 	ckptEvery   int
 	ckptKeep    int
@@ -64,6 +67,12 @@ func validateFlags(v flagValues) error {
 	}
 	if v.tau < 0 {
 		return fmt.Errorf("-tau must be non-negative (got %g)", v.tau)
+	}
+	if _, err := core.ParseFrontier(v.frontier); err != nil {
+		return fmt.Errorf("-frontier: %v", err)
+	}
+	if v.frontThr <= 0 || v.frontThr > 1 {
+		return fmt.Errorf("-frontier-sparse-threshold must be in (0, 1] (got %g)", v.frontThr)
 	}
 	switch v.wireFmt {
 	case 0, mpi.WireV1, mpi.WireV2:

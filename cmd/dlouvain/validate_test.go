@@ -9,6 +9,7 @@ import (
 func valid() flagValues {
 	return flagValues{
 		np: 4, threads: 1, alpha: 0.25, tau: 0,
+		frontier: "auto", frontThr: 0.25,
 		wireFmt: 0, ckptEvery: 1, ckptKeep: 2,
 		supervise: false, minRanks: 1, maxRestarts: 5,
 		transport: "inproc", coordEpoch: 1, agentSlots: 1,
@@ -43,6 +44,9 @@ func TestValidateFlagsRejections(t *testing.T) {
 		{"zero threads", func(v *flagValues) { v.threads = 0 }, "-threads"},
 		{"alpha above one", func(v *flagValues) { v.alpha = 1.5 }, "-alpha"},
 		{"negative tau", func(v *flagValues) { v.tau = -1e-6 }, "-tau"},
+		{"unknown frontier mode", func(v *flagValues) { v.frontier = "bitmapish" }, "-frontier"},
+		{"zero frontier threshold", func(v *flagValues) { v.frontThr = 0 }, "-frontier-sparse-threshold"},
+		{"frontier threshold above one", func(v *flagValues) { v.frontThr = 1.5 }, "-frontier-sparse-threshold"},
 		{"unknown transport", func(v *flagValues) { v.transport = "carrier-pigeon" }, "-transport"},
 
 		// Topology flags: -hosts hygiene, -rank bounds, -coord exclusivity.

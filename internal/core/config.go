@@ -98,6 +98,23 @@ type Config struct {
 	// frame is both smaller and cheaper to decode.
 	GhostSparseThreshold float64
 
+	// Frontier selects the active-set mode of the ΔQ sweep: FrontierAuto
+	// (default) re-evaluates only vertices whose neighbourhood changed in
+	// the previous iteration, switching ligra-style between a sorted id
+	// list and a bitmap scan at FrontierSparseThreshold; FrontierDense and
+	// FrontierSparse pin the representation; FrontierOff restores the full
+	// scan over every local vertex — the differential oracle the frontier
+	// modes are tested bit-identical against. Performance-only: the dirty
+	// rules mark a superset of the vertices whose decision could change, so
+	// every mode produces the identical trajectory (excluded from Hash).
+	// UseColoring forces the full scan (classes move mid-iteration).
+	Frontier int
+
+	// FrontierSparseThreshold is the frontier fraction of the partition
+	// above which FrontierAuto abandons the sorted id list for the bitmap
+	// scan (≤0 selects 0.25). Mirrors GhostSparseThreshold on the wire side.
+	FrontierSparseThreshold float64
+
 	// UseNeighborCollectives routes the per-iteration ghost exchange
 	// through sparse neighborhood collectives (the MPI-3 feature the
 	// paper's §VI plans to adopt) instead of the dense all-to-all:
@@ -184,6 +201,43 @@ const (
 	GhostDelta
 )
 
+// Frontier modes (Config.Frontier).
+const (
+	// FrontierAuto drives the sweep from the active set, switching between
+	// the sparse id list and the dense bitmap at FrontierSparseThreshold.
+	FrontierAuto = iota
+	// FrontierDense always scans the bitmap.
+	FrontierDense
+	// FrontierSparse always iterates the sorted id list.
+	FrontierSparse
+	// FrontierOff scans every local vertex each iteration (the paper's
+	// original sweep; the differential oracle).
+	FrontierOff
+)
+
+// ParseFrontier maps the CLI/service spelling of a frontier mode to its
+// Config.Frontier value. The empty string selects FrontierAuto.
+func ParseFrontier(s string) (int, error) {
+	switch s {
+	case "", "auto":
+		return FrontierAuto, nil
+	case "dense":
+		return FrontierDense, nil
+	case "sparse":
+		return FrontierSparse, nil
+	case "off":
+		return FrontierOff, nil
+	}
+	return 0, fmt.Errorf("unknown frontier mode %q (want auto, dense, sparse or off)", s)
+}
+
+// frontierOn reports whether the sweep runs frontier-driven. Coloring
+// forces the full scan: sweepByClasses applies moves mid-iteration, which
+// the dirty rules do not model.
+func (c *Config) frontierOn() bool {
+	return c.Frontier != FrontierOff && !c.UseColoring
+}
+
 func (c *Config) fill() {
 	if c.Tau <= 0 {
 		c.Tau = DefaultTau
@@ -205,6 +259,9 @@ func (c *Config) fill() {
 	}
 	if c.GhostSparseThreshold <= 0 {
 		c.GhostSparseThreshold = 0.25
+	}
+	if c.FrontierSparseThreshold <= 0 {
+		c.FrontierSparseThreshold = 0.25
 	}
 }
 
@@ -348,9 +405,16 @@ type PhaseStat struct {
 	// community in each iteration — the quantity whose rapid decay
 	// motivates the ET heuristic (§IV-B).
 	MovesTrajectory []int64
-	InactiveFrac    float64    // global inactive fraction at phase end
-	Exit            ExitReason // why the phase ended
-	Colors          int        // distance-1 colors used (0 unless UseColoring)
+	// TouchedTrajectory records the global number of vertices the sweep
+	// actually evaluated in each iteration; FrontierTrajectory the global
+	// active-set size offered to the sweep (LocalN sums under FrontierOff).
+	// Their ratio per iteration is the work the frontier machinery saved on
+	// top of ET's probability gate.
+	TouchedTrajectory  []int64
+	FrontierTrajectory []int64
+	InactiveFrac       float64    // global inactive fraction at phase end
+	Exit               ExitReason // why the phase ended
+	Colors             int        // distance-1 colors used (0 unless UseColoring)
 }
 
 // StepTimes aggregates where the run spent its time, mirroring the paper's

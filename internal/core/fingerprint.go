@@ -28,9 +28,9 @@ type Fingerprint string
 // refuses a mismatch; the service result cache uses it (with the graph
 // fingerprint) as the cache key. Deliberately excluded: Threads,
 // SendChangedOnly, UseNeighborCollectives, WireFormat, GhostRefresh,
-// GhostSparseThreshold, GatherOutput and the checkpoint settings — they
-// change performance or output plumbing, never the result, so a resume (or a
-// cache lookup) may alter them freely.
+// GhostSparseThreshold, Frontier, FrontierSparseThreshold, GatherOutput and
+// the checkpoint settings — they change performance or output plumbing,
+// never the result, so a resume (or a cache lookup) may alter them freely.
 func (c Config) Fingerprint() Fingerprint {
 	c.fill() // value receiver: canonicalize defaults without mutating the caller
 	h := fnv.New64a()

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"distlouvain/internal/frontier"
+	"distlouvain/internal/obsv"
+	"time"
+)
+
+// frontierState drives the ligra-style active-set sweep of a phase. The
+// invariant the differential tests pin: before iteration i's sweep, cur
+// contains every local vertex whose ΔQ decision could differ from the
+// decision the previous iteration's sweep computed (or would have computed)
+// for it. A vertex's decision depends on its own community, its neighbours'
+// communities (local and ghost), and the (A_c, size) of every community in
+// that neighbourhood — so a vertex is dirtied when any of those changed
+// during iteration i−1:
+//
+//	(a) it moved (pushDeltas overlap window);
+//	(b) a local neighbour moved (same window, via the CSR row);
+//	(c) a ghost neighbour's community value changed during the iteration-end
+//	    exchange (setGhost compare-before-write → reverse ghost adjacency);
+//	(d) a community in its neighbourhood changed (A_c, size) bitwise — owned
+//	    entries are watched by applyDelta, remote entries by diffing
+//	    consecutive fetchCommunityInfo results — where "its neighbourhood
+//	    references c" is resolved by scanning comm/ghostComm for members of
+//	    c and marking them plus their local/reverse-ghost adjacency;
+//	(e) the ET coin skipped it while it was in the frontier (the sweep
+//	    carries it over so a stale vertex is re-checked until actually
+//	    evaluated; permanently inactive vertices drop out — the full scan
+//	    never evaluates those again either).
+//
+// Marking a superset is always safe: re-evaluating an unchanged vertex
+// reproduces its previous "stay put" decision. The rules never mark less
+// than the set whose decision can change, which is the bit-identity proof.
+type frontierState struct {
+	cur, next *frontier.Set
+
+	// scanDense mirrors cur.Dense() for the duration of one sweep: workers
+	// filter by Has under the bitmap scan, and iterate cur.Sorted() directly
+	// under the list scan.
+	scanDense bool
+
+	// carryBufs[w] collects rule-(e) carry-overs per sweep worker; merged
+	// into next single-threaded after the parallel region.
+	carryBufs [][]int64
+
+	// Reverse ghost adjacency, built once per phase: the local vertices
+	// adjacent to each ghost slot (revAdj[revOff[slot]:revOff[slot+1]]).
+	revOff []int64
+	revAdj []int64
+
+	// Rule-(d) watchers. changedOwned lists owned communities (local index)
+	// whose (A_c, size) changed since the last frontier build, deduplicated
+	// by an epoch stamp so applyDelta stays O(1). prevRemote holds the
+	// previous iteration's remote (A_c, size) cache for bitwise diffing.
+	changedOwned []int64
+	ownedStamp   []int32
+	ownedEpoch   int32
+	prevRemote   map[int64]cinfo
+
+	// changedComms is the per-build scratch set of community IDs whose
+	// (A_c, size) changed.
+	changedComms map[int64]struct{}
+}
+
+func newFrontierState(st *phaseState) *frontierState {
+	n := st.dg.LocalN
+	var rep frontier.Rep
+	switch st.cfg.Frontier {
+	case FrontierDense:
+		rep = frontier.RepDense
+	case FrontierSparse:
+		rep = frontier.RepSparse
+	default:
+		rep = frontier.RepAuto
+	}
+	fr := &frontierState{
+		cur:          frontier.New(n, rep, st.cfg.FrontierSparseThreshold),
+		next:         frontier.New(n, rep, st.cfg.FrontierSparseThreshold),
+		carryBufs:    make([][]int64, st.cfg.Threads),
+		ownedStamp:   make([]int32, n),
+		prevRemote:   make(map[int64]cinfo),
+		changedComms: make(map[int64]struct{}),
+	}
+
+	// Reverse ghost adjacency by counting sort over the CSR rows.
+	counts := make([]int64, len(st.dg.Ghosts)+1)
+	for lv := int64(0); lv < n; lv++ {
+		for _, e := range st.dg.Neighbors(lv) {
+			if !st.dg.IsLocal(e.To) {
+				counts[st.dg.GhostIndex[e.To]+1]++
+			}
+		}
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	fr.revOff = counts
+	fr.revAdj = make([]int64, counts[len(counts)-1])
+	fill := make([]int64, len(st.dg.Ghosts))
+	for lv := int64(0); lv < n; lv++ {
+		for _, e := range st.dg.Neighbors(lv) {
+			if !st.dg.IsLocal(e.To) {
+				slot := st.dg.GhostIndex[e.To]
+				fr.revAdj[fr.revOff[slot]+fill[slot]] = lv
+				fill[slot]++
+			}
+		}
+	}
+	return fr
+}
+
+// markGhostAdj dirties the locals adjacent to a ghost slot (rules c and d).
+func (fr *frontierState) markGhostAdj(slot int32) {
+	for _, lv := range fr.revAdj[fr.revOff[slot]:fr.revOff[slot+1]] {
+		fr.next.Mark(lv)
+	}
+}
+
+// noteOwnedChanged records that owned community lc's (A_c, size) changed
+// bitwise since the last frontier build (rule d, owned side).
+func (fr *frontierState) noteOwnedChanged(lc int64) {
+	if fr.ownedStamp[lc] == fr.ownedEpoch {
+		return
+	}
+	fr.ownedStamp[lc] = fr.ownedEpoch
+	fr.changedOwned = append(fr.changedOwned, lc)
+}
+
+// markMoves dirties this iteration's movers and their local neighbours
+// (rules a and b). Ghost neighbours of a mover are other ranks' locals;
+// those ranks observe the move through their ghost table (rule c on their
+// side).
+func (st *phaseState) markMoves(moves []move) {
+	fr := st.fr
+	for _, mv := range moves {
+		fr.next.Mark(mv.lv)
+		for _, e := range st.dg.Neighbors(mv.lv) {
+			if st.dg.IsLocal(e.To) {
+				fr.next.Mark(e.To - st.dg.Base)
+			}
+		}
+	}
+}
+
+// setGhost writes one ghost-table entry, dirtying the slot's local
+// adjacency when the value actually changed (rule c). Every ghost-table
+// write after phase setup routes through here.
+func (st *phaseState) setGhost(slot int32, v int64) {
+	if st.ghostComm[slot] == v {
+		return
+	}
+	st.ghostComm[slot] = v
+	if st.fr != nil {
+		st.fr.markGhostAdj(slot)
+	}
+}
+
+// buildFrontier finalises the active set for iteration iter (1-based). It
+// runs after fetchCommunityInfo — the remote (A_c, size) cache is fresh —
+// and before the sweep. Iteration 1 seeds the full vertex set; later
+// iterations fold in rule (d) and swap in the set rules a–c and e built
+// during iteration iter−1.
+func (st *phaseState) buildFrontier(iter int) {
+	fr := st.fr
+	if fr == nil {
+		return
+	}
+	sp := st.tr().Begin(obsv.KindStep, "frontier-build")
+	t0 := time.Now()
+
+	if iter == 1 {
+		fr.cur.Fill()
+	} else {
+		// Rule (d): communities whose (A_c, size) changed during iter−1.
+		changed := fr.changedComms
+		clear(changed)
+		for _, lc := range fr.changedOwned {
+			changed[st.dg.Base+lc] = struct{}{}
+		}
+		for cid, ci := range st.remoteInfo {
+			if prev, ok := fr.prevRemote[cid]; !ok || prev != ci {
+				changed[cid] = struct{}{}
+			}
+		}
+		if len(changed) > 0 {
+			// Resolve "references a changed community" by membership: the
+			// referencing vertices are the members plus everything adjacent
+			// to a member (through the CSR rows for local members, through
+			// the reverse ghost adjacency for ghost members).
+			for lv := int64(0); lv < st.dg.LocalN; lv++ {
+				if _, ok := changed[st.comm[lv]]; !ok {
+					continue
+				}
+				fr.next.Mark(lv)
+				for _, e := range st.dg.Neighbors(lv) {
+					if st.dg.IsLocal(e.To) {
+						fr.next.Mark(e.To - st.dg.Base)
+					}
+				}
+			}
+			for slot, gc := range st.ghostComm {
+				if _, ok := changed[gc]; ok {
+					fr.markGhostAdj(int32(slot))
+				}
+			}
+		}
+		fr.cur, fr.next = fr.next, fr.cur
+		fr.next.Clear()
+	}
+
+	// Reset the rule-(d) watchers for the iteration about to run.
+	fr.changedOwned = fr.changedOwned[:0]
+	fr.ownedEpoch++
+	if fr.ownedEpoch == 0 { // int32 wrap: restamp
+		clear(fr.ownedStamp)
+		fr.ownedEpoch = 1
+	}
+	clear(fr.prevRemote)
+	for cid, ci := range st.remoteInfo {
+		fr.prevRemote[cid] = ci
+	}
+
+	fr.scanDense = fr.cur.Dense()
+	st.steps.Compute += time.Since(t0)
+	sp.SetCount(fr.cur.Len())
+	sp.End()
+}

@@ -136,10 +136,19 @@ func (st *phaseState) evaluateVertex(lv int64, tab *flat.Table) (move, bool) {
 // its best move, double-buffered across the whole sweep. It returns the
 // chosen moves without applying them.
 //
+// With a frontier (st.fr non-nil), only the active set is offered to the
+// workers: under the sparse direction the chunks walk cur.Sorted()
+// directly; under the dense direction the full range is chunked and
+// filtered by the bitmap. Both directions visit surviving vertices in
+// ascending local order — the same order as the full scan — so the
+// gathered move list, and with it every float accumulation downstream, is
+// bit-identical across all frontier modes.
+//
 // Each worker reuses its phase-lived flat table and move buffer. Every
 // moveBuf is truncated BEFORE the parallel region: par.For does not spawn
 // workers whose chunk is empty, so a worker that ran last iteration but not
-// this one would otherwise leak stale moves into the gather below.
+// this one would otherwise leak stale moves into the gather below. (Carry
+// buffers avoid the same hazard by being drained after every merge.)
 func (st *phaseState) sweep(iter int) []move {
 	sp := st.tr().Begin(obsv.KindStep, "sweep")
 	defer sp.End()
@@ -149,46 +158,96 @@ func (st *phaseState) sweep(iter int) []move {
 	for w := range st.moveBufs {
 		st.moveBufs[w] = st.moveBufs[w][:0]
 	}
-	par.For(int(st.dg.LocalN), nw, func(w, lo, hi int) {
-		st.sweepRange(w, lo, hi, func(lv int64) int64 { return lv }, iter)
-	})
+	clear(st.touchedBufs)
+	fr := st.fr
+	if fr != nil && !fr.scanDense {
+		ids := fr.cur.Sorted()
+		par.For(len(ids), nw, func(w, lo, hi int) {
+			st.sweepRange(w, lo, hi, func(i int64) int64 { return ids[i] }, iter)
+		})
+	} else {
+		par.For(int(st.dg.LocalN), nw, func(w, lo, hi int) {
+			st.sweepRange(w, lo, hi, func(lv int64) int64 { return lv }, iter)
+		})
+	}
 	all := st.allMoves[:0]
 	for _, ms := range st.moveBufs {
 		all = append(all, ms...)
 	}
 	st.allMoves = all
+	st.iterTouched = 0
+	for _, c := range st.touchedBufs {
+		st.iterTouched += c
+	}
+	if fr != nil {
+		// Merge the coin-skipped carry-overs (dirty rule e) into the next
+		// frontier single-threaded, draining each buffer so a worker idle
+		// next iteration cannot replay stale entries.
+		for w := range fr.carryBufs {
+			for _, lv := range fr.carryBufs[w] {
+				fr.next.Mark(lv)
+			}
+			fr.carryBufs[w] = fr.carryBufs[w][:0]
+		}
+		st.iterFrontier = fr.cur.Len()
+	} else {
+		st.iterFrontier = st.dg.LocalN
+	}
+	sp.SetCount(st.iterTouched)
 	return all
 }
 
 // sweepRange evaluates vertices vertexAt(lo..hi) on worker w, appending
-// chosen moves to the worker's buffer. The refKernels branch routes through
-// the map-based reference kernel for differential testing.
+// chosen moves to the worker's buffer and counting evaluations into the
+// worker's touched counter (+=: sweepByClasses calls once per class). The
+// refKernels branch routes through the map-based reference kernel for
+// differential testing. Frontier members the ET coin skips are carried into
+// the next frontier — a stale vertex stays dirty until actually evaluated —
+// while permanently inactive vertices drop out, matching the full scan
+// (which never evaluates those again either).
 func (st *phaseState) sweepRange(w, lo, hi int, vertexAt func(int64) int64, iter int) {
 	moves := st.moveBufs[w]
+	fr := st.fr
+	var carry []int64
+	if fr != nil {
+		carry = fr.carryBufs[w]
+	}
+	var touched int64
+	var scratch map[int64]float64
+	var tab *flat.Table
 	if st.cfg.refKernels {
-		scratch := make(map[int64]float64, 64)
-		for i := lo; i < hi; i++ {
-			lv := vertexAt(int64(i))
-			if !st.isActive(lv, iter) {
-				continue
-			}
-			if mv, ok := st.evaluateVertexRef(lv, scratch); ok {
-				moves = append(moves, mv)
-			}
-		}
+		scratch = make(map[int64]float64, 64)
 	} else {
-		tab := st.sweepTabs[w]
-		for i := lo; i < hi; i++ {
-			lv := vertexAt(int64(i))
-			if !st.isActive(lv, iter) {
-				continue
+		tab = st.sweepTabs[w]
+	}
+	for i := lo; i < hi; i++ {
+		lv := vertexAt(int64(i))
+		if fr != nil && fr.scanDense && !fr.cur.Has(lv) {
+			continue
+		}
+		if !st.isActive(lv, iter) {
+			if fr != nil && !st.inactive[lv] {
+				carry = append(carry, lv)
 			}
-			if mv, ok := st.evaluateVertex(lv, tab); ok {
-				moves = append(moves, mv)
-			}
+			continue
+		}
+		touched++
+		var mv move
+		var ok bool
+		if st.cfg.refKernels {
+			mv, ok = st.evaluateVertexRef(lv, scratch)
+		} else {
+			mv, ok = st.evaluateVertex(lv, tab)
+		}
+		if ok {
+			moves = append(moves, mv)
 		}
 	}
 	st.moveBufs[w] = moves
+	st.touchedBufs[w] += touched
+	if fr != nil {
+		fr.carryBufs[w] = carry
+	}
 }
 
 // sweepByClasses processes local vertices one distance-1 color class at a
@@ -204,6 +263,7 @@ func (st *phaseState) sweepByClasses(classes [][]int64, iter int) []move {
 	t0 := time.Now()
 	defer func() { st.steps.Compute += time.Since(t0) }()
 	nw := st.cfg.Threads
+	clear(st.touchedBufs)
 	all := st.allMoves[:0]
 	for _, class := range classes {
 		for w := range st.moveBufs {
@@ -221,6 +281,12 @@ func (st *phaseState) sweepByClasses(classes [][]int64, iter int) []move {
 		}
 	}
 	st.allMoves = all
+	st.iterTouched = 0
+	for _, c := range st.touchedBufs {
+		st.iterTouched += c
+	}
+	st.iterFrontier = st.dg.LocalN
+	sp.SetCount(st.iterTouched)
 	return all
 }
 
@@ -346,6 +412,11 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 			return stat, err
 		}
 
+		// Finalise the active set for this iteration's sweep: rule (d)
+		// against the fresh community info, then swap in the set rules
+		// (a)–(c) and (e) accumulated during the previous iteration.
+		st.buildFrontier(stat.Iterations)
+
 		st.snapshot(&snap)
 
 		// (ii) local ΔQ sweep; (iii) apply + push community updates.
@@ -377,6 +448,8 @@ func (st *phaseState) iterate(tau float64) (PhaseStat, error) {
 		}
 		stat.QTrajectory = append(stat.QTrajectory, q)
 		stat.MovesTrajectory = append(stat.MovesTrajectory, globalMoves)
+		stat.TouchedTrajectory = append(stat.TouchedTrajectory, st.globalTouched)
+		stat.FrontierTrajectory = append(stat.FrontierTrajectory, st.globalFrontier)
 		st.cfg.progress(ProgressEvent{Kind: ProgressIteration, Phase: st.phase, Iteration: stat.Iterations, Modularity: q, Vertices: globalN})
 
 		// (v) threshold check.

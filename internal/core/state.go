@@ -76,6 +76,19 @@ type phaseState struct {
 	deltaBuf  []commDelta
 	arena     mpi.Arena
 
+	// Frontier-driven sweep state; nil when Config selects FrontierOff or
+	// coloring forces the full scan (see frontier.go).
+	fr *frontierState
+
+	// Per-iteration sweep instrumentation: touchedBufs[w] counts worker
+	// w's ΔQ evaluations; iterTouched/iterFrontier are the rank-local sums
+	// that ride the modularity allreduce; globalTouched/globalFrontier hold
+	// the allreduced figures the phase trajectory records.
+	touchedBufs               []int64
+	iterTouched, iterFrontier int64
+	globalTouched             int64
+	globalFrontier            int64
+
 	steps *StepTimes
 }
 
@@ -111,6 +124,7 @@ func newPhaseState(dg *dgraph.DistGraph, cfg *Config, phaseIdx int, steps *StepT
 		st.sweepTabs[w] = flat.NewTable(64)
 	}
 	st.moveBufs = make([][]move, cfg.Threads)
+	st.touchedBufs = make([]int64, cfg.Threads)
 	st.deltaTab = flat.NewTable(256)
 	for lv := int64(0); lv < n; lv++ {
 		g := dg.Global(lv)
@@ -123,6 +137,9 @@ func newPhaseState(dg *dgraph.DistGraph, cfg *Config, phaseIdx int, steps *StepT
 	// Initially every vertex is its own community, so ghost communities
 	// are derivable without communication (§IV-A).
 	copy(st.ghostComm, dg.Ghosts)
+	if cfg.frontierOn() {
+		st.fr = newFrontierState(st)
+	}
 	if err := st.setupGhostLists(); err != nil {
 		return nil, err
 	}
@@ -264,7 +281,7 @@ func (st *phaseState) exchangeGhostComm() error {
 				if pos < 0 || pos >= int64(len(st.ghostSlots[q])) {
 					return fmt.Errorf("core: ghost position %d out of range from rank %d", pos, q)
 				}
-				st.ghostComm[st.ghostSlots[q][pos]] = vals[i+1]
+				st.setGhost(st.ghostSlots[q][pos], vals[i+1])
 			}
 			return nil
 		case GhostDelta:
@@ -278,7 +295,7 @@ func (st *phaseState) exchangeGhostComm() error {
 				if err != nil {
 					return fmt.Errorf("core: ghost reply from rank %d: %w", q, err)
 				}
-				st.ghostComm[slot] = v
+				st.setGhost(slot, v)
 			}
 			if d.Remaining() != 0 {
 				return fmt.Errorf("core: ghost reply from rank %d has %d trailing bytes", q, d.Remaining())
@@ -293,7 +310,7 @@ func (st *phaseState) exchangeGhostComm() error {
 			return fmt.Errorf("core: ghost reply from rank %d has %d entries, want %d", q, len(vals), len(st.ghostSlots[q]))
 		}
 		for i, v := range vals {
-			st.ghostComm[st.ghostSlots[q][i]] = v
+			st.setGhost(st.ghostSlots[q][i], v)
 		}
 		return nil
 	}
@@ -415,7 +432,7 @@ func (st *phaseState) decodeGhostDelta(q int, data []byte) error {
 				if err != nil {
 					return fmt.Errorf("core: dense ghost frame from rank %d: %w", q, err)
 				}
-				st.ghostComm[slot] = v
+				st.setGhost(slot, v)
 			}
 		} else {
 			vals, err := d.Int64s(len(slots))
@@ -423,7 +440,7 @@ func (st *phaseState) decodeGhostDelta(q int, data []byte) error {
 				return fmt.Errorf("core: dense ghost frame from rank %d: %w", q, err)
 			}
 			for i, v := range vals {
-				st.ghostComm[slots[i]] = v
+				st.setGhost(slots[i], v)
 			}
 		}
 		if d.Remaining() != 0 {
@@ -450,7 +467,7 @@ func (st *phaseState) decodeGhostDelta(q int, data []byte) error {
 				if pos < 0 || pos >= int64(len(slots)) {
 					return fmt.Errorf("core: ghost position %d out of range from rank %d", pos, q)
 				}
-				st.ghostComm[slots[pos]] = v
+				st.setGhost(slots[pos], v)
 			}
 			if d.Remaining() != 0 {
 				return fmt.Errorf("core: sparse ghost frame from rank %d has %d trailing bytes", q, d.Remaining())
@@ -469,7 +486,7 @@ func (st *phaseState) decodeGhostDelta(q int, data []byte) error {
 			if pos < 0 || pos >= int64(len(slots)) {
 				return fmt.Errorf("core: ghost position %d out of range from rank %d", pos, q)
 			}
-			st.ghostComm[slots[pos]] = v
+			st.setGhost(slots[pos], v)
 		}
 		return nil
 	}
@@ -782,6 +799,9 @@ func (st *phaseState) pushDeltas(deltas []commDelta, moves []move) error {
 	for _, mv := range moves {
 		st.comm[mv.lv] = mv.to
 	}
+	if st.fr != nil {
+		st.markMoves(moves)
+	}
 	for _, d := range deltas {
 		if st.dg.IsLocal(d.cid) {
 			st.applyDelta(d.cid, delta{a: d.a, size: d.size})
@@ -836,6 +856,7 @@ func (st *phaseState) pushDeltas(deltas []commDelta, moves []move) error {
 
 func (st *phaseState) applyDelta(cid int64, d delta) {
 	lc := cid - st.dg.Base
+	a0, s0 := st.cA[lc], st.cSize[lc]
 	st.cA[lc] += d.a
 	st.cSize[lc] += d.size
 	if st.cSize[lc] <= 0 {
@@ -844,6 +865,11 @@ func (st *phaseState) applyDelta(cid int64, d delta) {
 		st.cSize[lc] = 0
 		st.cA[lc] = 0
 	}
+	if st.fr != nil && (st.cA[lc] != a0 || st.cSize[lc] != s0) {
+		// Frontier dirty rule (d), owned side: the values evaluators read
+		// changed, so everything referencing this community re-evaluates.
+		st.fr.noteOwnedChanged(lc)
+	}
 }
 
 // modularity is step (iv): every rank contributes the intra-community
@@ -851,7 +877,9 @@ func (st *phaseState) applyDelta(cid int64, d delta) {
 // ghost information — the paper's "lag of community update") plus the
 // squared incident weights of its owned communities; one allreduce yields
 // the global Q. The local move count rides along in the same reduction so
-// the per-iteration migration rate costs no extra collective.
+// the per-iteration migration rate costs no extra collective, and so do the
+// sweep's touched-vertex and frontier-size counters (stale outside the
+// iteration loop, where the results are simply unread).
 func (st *phaseState) modularityAndMoves(localMoves int64) (float64, int64, error) {
 	msp := st.tr().Begin(obsv.KindStep, "modularity-compute")
 	tc := time.Now()
@@ -872,12 +900,14 @@ func (st *phaseState) modularityAndMoves(localMoves int64) (float64, int64, erro
 	msp.End()
 
 	ta := time.Now()
-	out, err := st.dg.Comm.AllreduceFloat64s([]float64{eSum, aSq, float64(localMoves)}, mpi.OpSum)
+	out, err := st.dg.Comm.AllreduceFloat64s([]float64{eSum, aSq, float64(localMoves), float64(st.iterTouched), float64(st.iterFrontier)}, mpi.OpSum)
 	st.steps.Allreduce += time.Since(ta)
 	if err != nil {
 		return 0, 0, fmt.Errorf("core: modularity allreduce: %w", err)
 	}
 	moves := int64(out[2])
+	st.globalTouched = int64(out[3])
+	st.globalFrontier = int64(out[4])
 	m2 := st.dg.M2
 	if m2 == 0 {
 		return 0, moves, nil

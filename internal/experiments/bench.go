@@ -20,23 +20,29 @@ import (
 // BenchSchemaVersion identifies the BENCH_paperbench.json layout. Bump it
 // when a field changes meaning; CompareBench refuses mismatched versions so
 // a stale baseline fails loudly instead of comparing wrong columns.
-const BenchSchemaVersion = 2
+const BenchSchemaVersion = 3
 
 // BenchPhase is one phase row of a workload's rank-0 timing breakdown
 // (obsv.BuildReport categories, §V-A). The byte columns (schema v2) are the
 // per-category payload volumes of the same report: unlike the millisecond
 // columns they are deterministic, so CompareBench gates on them — a protocol
-// change that regrows the wire shows up as a byte regression in CI.
+// change that regrows the wire shows up as a byte regression in CI. The
+// per-iteration vertex columns (schema v3) are the globally-allreduced
+// frontier trajectories of the run: touched is how many vertices the sweeps
+// actually evaluated, frontier how many the active set offered them (equal
+// to the phase's vertex count every iteration when the frontier is off).
 type BenchPhase struct {
-	Phase        int     `json:"phase"`
-	Iterations   int     `json:"iterations"`
-	TotalMS      float64 `json:"total_ms"`
-	ComputeMS    float64 `json:"compute_ms"`
-	P2PMS        float64 `json:"p2p_ms"`
-	CollectiveMS float64 `json:"collective_ms"`
-	CoarsenMS    float64 `json:"coarsen_ms"`
-	P2PBytes     int64   `json:"p2p_bytes"`
-	CollBytes    int64   `json:"coll_bytes"`
+	Phase           int     `json:"phase"`
+	Iterations      int     `json:"iterations"`
+	TotalMS         float64 `json:"total_ms"`
+	ComputeMS       float64 `json:"compute_ms"`
+	P2PMS           float64 `json:"p2p_ms"`
+	CollectiveMS    float64 `json:"collective_ms"`
+	CoarsenMS       float64 `json:"coarsen_ms"`
+	P2PBytes        int64   `json:"p2p_bytes"`
+	CollBytes       int64   `json:"coll_bytes"`
+	TouchedPerIter  []int64 `json:"touched_per_iter,omitempty"`
+	FrontierPerIter []int64 `json:"frontier_per_iter,omitempty"`
 }
 
 // BenchWorkload records one full distributed run of a testbed graph.
@@ -62,6 +68,25 @@ type BenchKernel struct {
 	BytesPerOp  int64  `json:"bytes_per_op"`
 }
 
+// BenchFrontier records one frontier-gate measurement (schema v3): an
+// ET(0.25) run with the frontier on against the same run with the full
+// scan, on a mesh workload. SweepVisited sums the per-iteration active-set
+// sizes the frontier-driven sweeps walked; FullScanVisited is the same sum
+// for the full scan, which walks every local vertex each iteration just to
+// check the activity coin. Touched counts actual ΔQ evaluations on each
+// side. The two runs are required to be bit-identical in modularity, so the
+// columns measure pure sweep-loop savings.
+type BenchFrontier struct {
+	Graph           string  `json:"graph"`
+	Ranks           int     `json:"ranks"`
+	Threads         int     `json:"threads"`
+	Modularity      float64 `json:"modularity"`
+	SweepVisited    int64   `json:"sweep_visited"`
+	FullScanVisited int64   `json:"full_scan_visited"`
+	Touched         int64   `json:"touched"`
+	FullScanTouched int64   `json:"full_scan_touched"`
+}
+
 // BenchReport is the JSON document `paperbench -exp bench -json` emits and
 // `make bench-record` commits as BENCH_paperbench.json. Timing fields are
 // machine-dependent context; the modularity column is the deterministic
@@ -72,6 +97,7 @@ type BenchReport struct {
 	GoVersion     string          `json:"go_version"`
 	MaxProcs      int             `json:"gomaxprocs"`
 	Workloads     []BenchWorkload `json:"workloads"`
+	FrontierGate  []BenchFrontier `json:"frontier_gate,omitempty"`
 	Kernels       []BenchKernel   `json:"kernels,omitempty"`
 }
 
@@ -140,7 +166,7 @@ func Bench(s Scale, p, threads int, ws []Workload, kernels bool) (*BenchReport, 
 			WallMS:     ms(wall),
 		}
 		for _, pb := range timing.Phases {
-			bw.Breakdown = append(bw.Breakdown, BenchPhase{
+			bp := BenchPhase{
 				Phase:        pb.Phase,
 				Iterations:   pb.Iterations,
 				TotalMS:      ms(pb.Total),
@@ -150,10 +176,20 @@ func Bench(s Scale, p, threads int, ws []Workload, kernels bool) (*BenchReport, 
 				CoarsenMS:    ms(pb.Cat[obsv.CatCoarsen]),
 				P2PBytes:     pb.Bytes[obsv.CatP2P],
 				CollBytes:    pb.Bytes[obsv.CatCollective],
-			})
+			}
+			if pb.Phase >= 0 && pb.Phase < len(res.Phases) {
+				bp.TouchedPerIter = res.Phases[pb.Phase].TouchedTrajectory
+				bp.FrontierPerIter = res.Phases[pb.Phase].FrontierTrajectory
+			}
+			bw.Breakdown = append(bw.Breakdown, bp)
 		}
 		rep.Workloads = append(rep.Workloads, bw)
 	}
+	fg, err := benchFrontierGate(s, p, threads)
+	if err != nil {
+		return nil, err
+	}
+	rep.FrontierGate = fg
 	if kernels {
 		ks, err := benchKernels(threads)
 		if err != nil {
@@ -162,6 +198,61 @@ func Bench(s Scale, p, threads int, ws []Workload, kernels bool) (*BenchReport, 
 		rep.Kernels = ks
 	}
 	return rep, nil
+}
+
+// frontierGateWorkloads are the recorded mesh workloads of the frontier
+// gate: the banded channel analogues whose boundary-crawl convergence the
+// ET heuristic (and on top of it, the frontier) targets. Two sizes, so the
+// gate covers both a short and a long crawl.
+func frontierGateWorkloads(s Scale) []Workload {
+	f := s.factor()
+	n, e := gen.BandedMesh(2000*f, 6)
+	small := Workload{Name: "channel-like-sm", PaperGraph: "Channel (4.8M vertices, 42.7M edges)", Character: "banded", N: n, Edges: e}
+	return []Workload{small, ChannelLike(s)}
+}
+
+// benchFrontierGate runs the schema-v3 frontier measurement: for each mesh
+// workload, one ET(0.25) run with the default frontier and one with the
+// full scan. The two must agree bitwise on modularity (the differential
+// suite's invariant, re-proven on the recorded inputs); CompareBench then
+// gates that the frontier's visited count stays ≥30% below the full scan's.
+func benchFrontierGate(s Scale, p, threads int) ([]BenchFrontier, error) {
+	sums := func(res *core.Result) (visited, touched int64) {
+		for _, st := range res.Phases {
+			for i := range st.TouchedTrajectory {
+				touched += st.TouchedTrajectory[i]
+				visited += st.FrontierTrajectory[i]
+			}
+		}
+		return
+	}
+	var out []BenchFrontier
+	for _, w := range frontierGateWorkloads(s) {
+		on := core.ET(0.25)
+		fres, _, _, err := benchTracedRun(p, threads, w, on)
+		if err != nil {
+			return nil, fmt.Errorf("bench frontier %s: %w", w.Name, err)
+		}
+		off := core.ET(0.25)
+		off.Frontier = core.FrontierOff
+		sres, _, _, err := benchTracedRun(p, threads, w, off)
+		if err != nil {
+			return nil, fmt.Errorf("bench frontier %s (full scan): %w", w.Name, err)
+		}
+		if fres.Modularity != sres.Modularity {
+			return nil, fmt.Errorf("bench frontier %s: frontier run modularity %v != full scan %v (bit-identity broken)",
+				w.Name, fres.Modularity, sres.Modularity)
+		}
+		fv, ft := sums(fres)
+		sv, st := sums(sres)
+		out = append(out, BenchFrontier{
+			Graph: w.Name, Ranks: p, Threads: threads,
+			Modularity:   fres.Modularity,
+			SweepVisited: fv, FullScanVisited: sv,
+			Touched: ft, FullScanTouched: st,
+		})
+	}
+	return out, nil
 }
 
 // benchKernels measures the hot kernels in isolation on a fixed synthetic
@@ -285,6 +376,31 @@ func CompareBench(cur, base *BenchReport, tol, byteTol float64) error {
 				want.Graph, gotColl, wantColl, 100*byteTol)
 		}
 	}
+	// Frontier gate (schema v3): on every recorded mesh workload the
+	// frontier must not regress modularity and its sweeps must visit ≥30%
+	// fewer vertices than the full scan. Both sides are deterministic, so
+	// the 30% floor is a property re-proven on each run, not a drift check.
+	curFG := make(map[string]BenchFrontier, len(cur.FrontierGate))
+	for _, g := range cur.FrontierGate {
+		curFG[g.Graph] = g
+	}
+	for _, want := range base.FrontierGate {
+		got, ok := curFG[want.Graph]
+		if !ok {
+			return fmt.Errorf("bench frontier gate workload %s missing from current run", want.Graph)
+		}
+		if d := math.Abs(got.Modularity - want.Modularity); d > tol {
+			return fmt.Errorf("bench frontier %s modularity %.6f deviates from baseline %.6f by %.6f (tol %.6f)",
+				want.Graph, got.Modularity, want.Modularity, d, tol)
+		}
+		if got.FullScanVisited == 0 {
+			return fmt.Errorf("bench frontier %s full scan visited no vertices", want.Graph)
+		}
+		if got.SweepVisited*10 > got.FullScanVisited*7 {
+			return fmt.Errorf("bench frontier %s visited %d of the full scan's %d vertices (>70%%; frontier regression)",
+				want.Graph, got.SweepVisited, got.FullScanVisited)
+		}
+	}
 	return nil
 }
 
@@ -320,6 +436,16 @@ func BenchTable(rep *BenchReport) *Table {
 			fmt.Sprintf("%d", w.Phases),
 			fmt.Sprintf("%d", w.Iterations),
 			fmt.Sprintf("%.0fms", w.WallMS),
+		})
+	}
+	for _, g := range rep.FrontierGate {
+		t.Rows = append(t.Rows, []string{
+			"frontier:" + g.Graph,
+			fmt.Sprintf("%d", g.Ranks),
+			fmt.Sprintf("%d", g.Threads),
+			fmt.Sprintf("%.4f", g.Modularity),
+			"-", "-",
+			fmt.Sprintf("visited %.0f%% of full scan", 100*float64(g.SweepVisited)/float64(g.FullScanVisited)),
 		})
 	}
 	for _, k := range rep.Kernels {

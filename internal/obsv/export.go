@@ -24,6 +24,7 @@ type wireSpan struct {
 	StartNS int64  `json:"start_ns"`
 	DurNS   int64  `json:"dur_ns"`
 	Bytes   int64  `json:"bytes,omitempty"`
+	Count   int64  `json:"count,omitempty"`
 }
 
 // WriteNDJSON writes spans one-per-line in begin (ID) order.
@@ -35,7 +36,7 @@ func WriteNDJSON(w io.Writer, spans []Span) error {
 		ws := wireSpan{
 			ID: s.ID, Parent: s.Parent, Rank: s.Rank, Kind: s.Kind.String(),
 			Name: s.Name, Phase: s.Phase, Iter: s.Iter,
-			StartNS: s.Start, DurNS: s.Dur, Bytes: s.Bytes,
+			StartNS: s.Start, DurNS: s.Dur, Bytes: s.Bytes, Count: s.Count,
 		}
 		if err := enc.Encode(&ws); err != nil {
 			return err

@@ -83,6 +83,10 @@ type Span struct {
 	Start  int64
 	Dur    int64
 	Bytes  int64
+	// Count is a span-defined item tally (vertices the sweep evaluated,
+	// frontier size at build). Like Bytes it is informational only and
+	// excluded from golden structure comparison.
+	Count int64
 }
 
 // Title renders the span's display name, folding in the phase or iteration
@@ -190,6 +194,7 @@ type SpanScope struct {
 	phase, iter int
 	start       int64
 	bytes       int64
+	count       int64
 	scoped      bool
 }
 
@@ -239,6 +244,15 @@ func (s *SpanScope) SetBytes(n int64) {
 	s.bytes += n
 }
 
+// SetCount accumulates an item tally onto the span (informational only;
+// excluded from golden structure comparison).
+func (s *SpanScope) SetCount(n int64) {
+	if s.t == nil {
+		return
+	}
+	s.count += n
+}
+
 // End closes the span and records it in the ring. Out-of-order Ends are
 // tolerated: the span is removed from wherever it sits on the scope stack.
 func (s *SpanScope) End() {
@@ -258,7 +272,7 @@ func (s *SpanScope) End() {
 	}
 	t.record(Span{
 		ID: s.id, Parent: s.parent, Rank: t.rank, Kind: s.kind, Name: s.name,
-		Phase: s.phase, Iter: s.iter, Start: s.start, Dur: end - s.start, Bytes: s.bytes,
+		Phase: s.phase, Iter: s.iter, Start: s.start, Dur: end - s.start, Bytes: s.bytes, Count: s.count,
 	})
 	t.mu.Unlock()
 	s.t = nil

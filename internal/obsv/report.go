@@ -52,6 +52,7 @@ var stepCategory = map[string]Category{
 	"flatten":            CatP2P,
 	"gather-output":      CatP2P,
 	"sweep":              CatCompute,
+	"frontier-build":     CatCompute,
 	"modularity-compute": CatCompute,
 	"coloring":           CatCompute,
 	"rebuild":            CatCoarsen,
@@ -86,6 +87,14 @@ type PhaseBreakdown struct {
 	// column is the §V-A "communication within a phase" payload and the
 	// collective column the driver's own reductions.
 	Bytes [numCategories]int64
+	// Touched sums the vertices this rank's sweeps evaluated across the
+	// phase (the Count of "sweep" spans); Frontier sums the active-set sizes
+	// offered to them (the Count of "frontier-build" spans; under
+	// FrontierOff no such spans exist and the column stays 0). Rank-local
+	// figures — the globally allreduced trajectory lives in
+	// core.PhaseStat.TouchedTrajectory.
+	Touched  int64
+	Frontier int64
 }
 
 // Accounted sums the categorized time; the gap to Total is the row's
@@ -196,6 +205,20 @@ func BuildReport(spans []Span) *Report {
 				row(s.Phase).Bytes[bc] += s.Bytes
 			}
 		}
+		// Counts accumulate by span name, never through composites: only the
+		// sweep and frontier-build steps define them.
+		if s.Count != 0 && (s.Name == "sweep" || s.Name == "frontier-build") {
+			touched, front := s.Count, int64(0)
+			if s.Name == "frontier-build" {
+				touched, front = 0, s.Count
+			}
+			rep.Overall.Touched += touched
+			rep.Overall.Frontier += front
+			if inPhase {
+				row(s.Phase).Touched += touched
+				row(s.Phase).Frontier += front
+			}
+		}
 		if covered {
 			continue
 		}
@@ -225,8 +248,8 @@ func BuildReport(spans []Span) *Report {
 // completed, so %other there includes inter-phase overheads.
 func (r *Report) Format(w io.Writer) {
 	fmt.Fprintf(w, "per-phase time breakdown (rank %d):\n", r.Rank)
-	fmt.Fprintf(w, "%7s %6s %12s %7s %7s %9s %9s %6s %7s %9s %9s\n",
-		"phase", "iters", "total", "%p2p", "%coll", "%coarsen", "%compute", "%ckpt", "%other", "p2pB", "collB")
+	fmt.Fprintf(w, "%7s %6s %12s %7s %7s %9s %9s %6s %7s %9s %9s %9s %9s\n",
+		"phase", "iters", "total", "%p2p", "%coll", "%coarsen", "%compute", "%ckpt", "%other", "p2pB", "collB", "touched", "frontier")
 	writeRow := func(label string, pb PhaseBreakdown) {
 		total := pb.Total
 		if total <= 0 {
@@ -240,11 +263,12 @@ func (r *Report) Format(w io.Writer) {
 		if other < 0 {
 			other = 0
 		}
-		fmt.Fprintf(w, "%7s %6d %12s %7.1f %7.1f %9.1f %9.1f %6.1f %7.1f %9s %9s\n",
+		fmt.Fprintf(w, "%7s %6d %12s %7.1f %7.1f %9.1f %9.1f %6.1f %7.1f %9s %9s %9d %9d\n",
 			label, pb.Iterations, total.Round(time.Microsecond),
 			pct(pb.Cat[CatP2P]), pct(pb.Cat[CatCollective]), pct(pb.Cat[CatCoarsen]),
 			pct(pb.Cat[CatCompute]), pct(pb.Cat[CatCheckpoint]), pct(other),
-			formatBytes(pb.Bytes[CatP2P]), formatBytes(pb.Bytes[CatCollective]))
+			formatBytes(pb.Bytes[CatP2P]), formatBytes(pb.Bytes[CatCollective]),
+			pb.Touched, pb.Frontier)
 	}
 	for _, pb := range r.Phases {
 		writeRow(strconv.Itoa(pb.Phase), pb)

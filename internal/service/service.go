@@ -247,6 +247,9 @@ func (s *Service) normalize(spec *JobSpec) (core.Config, error) {
 	if spec.Alpha < 0 || spec.Alpha > 1 {
 		return bad("alpha must be in [0, 1]")
 	}
+	if spec.FrontierSparseThreshold < 0 || spec.FrontierSparseThreshold > 1 {
+		return bad("frontier_sparse_threshold must be in [0, 1] (0 selects the default)")
+	}
 	cfg, err := spec.config()
 	if err != nil {
 		return bad("%v", err)

@@ -492,6 +492,8 @@ func TestServiceSubmitValidation(t *testing.T) {
 		{"ranks beyond budget", JobSpec{Vertices: 3, Edges: [][3]float64{{0, 1, 0}}, Ranks: 99}},
 		{"min-ranks above ranks", JobSpec{Vertices: 3, Edges: [][3]float64{{0, 1, 0}}, Ranks: 2, MinRanks: 3}},
 		{"unknown variant", JobSpec{Vertices: 3, Edges: [][3]float64{{0, 1, 0}}, Ranks: 1, Variant: "quantum"}},
+		{"unknown frontier mode", JobSpec{Vertices: 3, Edges: [][3]float64{{0, 1, 0}}, Ranks: 1, Frontier: "bitmapish"}},
+		{"frontier threshold above one", JobSpec{Vertices: 3, Edges: [][3]float64{{0, 1, 0}}, Ranks: 1, FrontierSparseThreshold: 1.5}},
 		{"missing graph file", JobSpec{GraphPath: filepath.Join(t.TempDir(), "nope.bin"), Ranks: 1}},
 	}
 	for _, tc := range cases {
@@ -503,6 +505,44 @@ func TestServiceSubmitValidation(t *testing.T) {
 	}
 	if st := s.Stats(); st.Jobs != 0 {
 		t.Errorf("%d jobs registered from rejected specs", st.Jobs)
+	}
+}
+
+// A frontier-off job reproduces the default frontier-driven job bit-for-bit:
+// the active set is an execution detail, not part of the answer (or of the
+// config fingerprint — the second submission would cache-hit without NoCache).
+func TestServiceFrontierModeDoesNotChangeResult(t *testing.T) {
+	path, _ := writeGraph(t, 250, 1200, 11)
+	s := newTestService(t, 4, nil)
+
+	v1, err := s.Submit(JobSpec{GraphPath: path, Ranks: 3, Variant: "etc", Alpha: 0.25, Seed: 5})
+	if err != nil {
+		t.Fatalf("Submit frontier-default: %v", err)
+	}
+	waitState(t, s, v1.ID, StateDone)
+	r1, err := s.Result(v1.ID, true)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+
+	v2, err := s.Submit(JobSpec{GraphPath: path, Ranks: 3, Variant: "etc", Alpha: 0.25, Seed: 5, Frontier: "off", NoCache: true})
+	if err != nil {
+		t.Fatalf("Submit frontier-off: %v", err)
+	}
+	waitState(t, s, v2.ID, StateDone)
+	r2, err := s.Result(v2.ID, true)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if r2.CacheHit {
+		t.Fatalf("NoCache submission served from cache")
+	}
+	if r1.Modularity != r2.Modularity || r1.Communities != r2.Communities {
+		t.Errorf("frontier off diverged: Q %v vs %v, communities %d vs %d",
+			r1.Modularity, r2.Modularity, r1.Communities, r2.Communities)
+	}
+	if !equalAssignments(r1.Assignment, r2.Assignment) {
+		t.Errorf("assignment differs between frontier modes")
 	}
 }
 

@@ -237,39 +237,49 @@ func (d *Detector) Suspects(now time.Time) []Suspect {
 
 // Condemned returns the set of ranks to blame for a hang at time now, or
 // nil when no rank has crossed its window yet. It is Suspects plus every
-// live rank that has been beacon-silent at least as long as the
-// longest-silent suspect, ordered by silence descending.
+// live rank whose silence both (a) reaches back to within one
+// suspect-window of the longest-silent suspect's last beacon and (b) is
+// anomalous against the rank's own cadence — it has no cadence model yet,
+// or it has been silent for more than twice its own mean beacon gap.
+// Ordered by silence descending.
 //
 // The extra ranks are the fix for the post-mortem mis-attribution PR 5
 // observed: the rank that actually hangs often has a *wider* adaptive
 // window than its victims (its beacon cadence was irregular, or it was
 // still in bootstrap), so the peers it leaves blocked in a collective cross
-// into Suspect first. Condemning by earliest-silence ordering puts the
-// original hanger — it stopped beaconing before the ranks it starved — at
-// the head of the diagnosis even while its own window has not expired.
+// into Suspect first. A pure silent >= maxSilent cut still missed one case:
+// a hanger that beaconed right before freezing while a victim sat mid-gap
+// is a hair *less* silent than that victim, yet it is the death site. The
+// victims starve within one beacon window of the freeze, so reaching back
+// one suspect-window from the longest silence covers the hanger; condition
+// (b) keeps ranks that were beaconing healthily until the freeze out of the
+// diagnosis.
 func (d *Detector) Condemned(now time.Time) []Suspect {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	var maxSilent time.Duration
+	var maxSilent, reach time.Duration
 	hung := false
 	for _, t := range d.ranks {
 		if d.state(t, now) == StateSuspect {
 			hung = true
 			if s := now.Sub(t.last); s > maxSilent {
 				maxSilent = s
+				reach = d.window(t)
 			}
 		}
 	}
 	if !hung {
 		return nil
 	}
+	bar := maxSilent - reach
 	var out []Suspect
 	for rank, t := range d.ranks {
 		if t.done {
 			continue
 		}
 		silent := now.Sub(t.last)
-		if d.state(t, now) == StateSuspect || silent >= maxSilent {
+		anomalous := t.n < 3 || silent.Seconds() > 2*t.sum/float64(t.n)
+		if d.state(t, now) == StateSuspect || (silent >= bar && anomalous) {
 			out = append(out, Suspect{Rank: rank, Silent: silent, Window: d.window(t)})
 		}
 	}

@@ -179,6 +179,72 @@ func TestDetectorCondemnedIncludesEarlierSilentHanger(t *testing.T) {
 	}
 }
 
+func TestDetectorCondemnedIncludesMidGapHanger(t *testing.T) {
+	// Regression for the residual mis-attribution case: the hanger beacons
+	// right before freezing while its victim sits mid-gap, so the victim's
+	// silence is a hair *longer* — a silent >= maxSilent cut would omit the
+	// actual death site. The hanger's irregular cadence gives it a wide
+	// adaptive window, so it is not Suspect on its own when the victim
+	// crosses.
+	d := NewDetector(DetectorConfig{MinWindow: time.Millisecond, MaxWindow: 30 * time.Second, Phi: 8})
+	t0 := time.Unix(1000, 0)
+
+	// Rank 0 (hanger): alternating 100ms / 1s gaps — mean 550ms, high
+	// variance, adaptive window ~4s. Last beacon at freeze onset.
+	now := t0
+	for i := 0; i < 20; i++ {
+		d.Observe(0, now)
+		if i%2 == 0 {
+			now = now.Add(100 * time.Millisecond)
+		} else {
+			now = now.Add(time.Second)
+		}
+	}
+	last0 := now.Add(-time.Second) // the hanger's final beacon
+
+	// Rank 1 (victim): steady 100ms cadence → window 300ms. Its last beacon
+	// lands 50ms before the hanger's — it was mid-gap, blocked in the
+	// collective the hanger never reached.
+	now = last0.Add(-1950 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		d.Observe(1, now)
+		now = now.Add(100 * time.Millisecond)
+	}
+	last1 := now.Add(-100 * time.Millisecond)
+	if got := last0.Sub(last1); got != 50*time.Millisecond {
+		t.Fatalf("scenario arithmetic: hanger last %v after victim last, want 50ms", got)
+	}
+
+	probe := last0.Add(1200 * time.Millisecond)
+
+	// Rank 2 (healthy): steady 100ms cadence right up to the probe.
+	now = t0
+	for !now.After(probe.Add(-50 * time.Millisecond)) {
+		d.Observe(2, now)
+		now = now.Add(100 * time.Millisecond)
+	}
+
+	// Sanity: only the victim has crossed its own window; the hanger is the
+	// *less* silent of the two dead ranks.
+	sus := d.Suspects(probe)
+	if len(sus) != 1 || sus[0].Rank != 1 {
+		t.Fatalf("suspects = %v, want only the victim rank 1", sus)
+	}
+	if st := d.State(0, probe); st == StateSuspect {
+		t.Fatalf("hanger crossed its own window; scenario broken")
+	}
+
+	con := d.Condemned(probe)
+	if len(con) != 2 || con[0].Rank != 1 || con[1].Rank != 0 {
+		t.Fatalf("condemned = %v, want victim rank 1 then mid-gap hanger rank 0", con)
+	}
+	for _, s := range con {
+		if s.Rank == 2 {
+			t.Fatalf("healthy beaconing rank 2 condemned: %v", con)
+		}
+	}
+}
+
 func TestDetectorWindowReadaptsAfterRegimeChange(t *testing.T) {
 	// A cadence that abruptly becomes 10x cheaper (coarsened graph) must
 	// shrink the window once the sliding window rolls over.

@@ -311,6 +311,9 @@ func (s *Supervisor) monitor(att Attempt) (error, bool) {
 	go func() { done <- att.Wait() }()
 	tick := time.NewTicker(s.opt.Poll)
 	defer tick.Stop()
+	// pendingSince is when the current uninterrupted run of hang verdicts
+	// began; zero while the detector is happy.
+	var pendingSince time.Time
 	for {
 		select {
 		case err := <-done:
@@ -320,8 +323,30 @@ func (s *Supervisor) monitor(att Attempt) (error, bool) {
 			// earliest-silent rank (the likely root cause) even when its
 			// adaptive window is wider than its blocked victims' and it has
 			// therefore not technically crossed into Suspect yet.
-			sus := s.det.Condemned(time.Now())
+			now := time.Now()
+			sus := s.det.Condemned(now)
 			if len(sus) == 0 {
+				pendingSince = time.Time{}
+				continue
+			}
+			// Confirmation grace: a hang verdict must survive continued
+			// polling for half the narrowest condemned window before the
+			// kill. A world that stalls past a window and then recovers (a
+			// slow checkpoint fence, an I/O hiccup, scheduler pressure on a
+			// loaded machine) beacons during the grace, the verdict clears,
+			// and nothing is killed — a real hang only gets its kill ~1.5
+			// windows after the last beacon instead of 1.
+			if pendingSince.IsZero() {
+				pendingSince = now
+				continue
+			}
+			grace := sus[0].Window
+			for _, u := range sus[1:] {
+				if u.Window < grace {
+					grace = u.Window
+				}
+			}
+			if now.Sub(pendingSince) < grace/2 {
 				continue
 			}
 			for i := range sus {
